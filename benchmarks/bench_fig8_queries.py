@@ -1,0 +1,55 @@
+"""Figure 8 — the query benchmark: reconstruction inventory.
+
+Prints each reconstructed query with its size (vs the paper's), treewidth
+and decomposition-plan statistics, and benchmarks plan enumeration + the
+Section 6 heuristic (the "planner" layer, which the paper notes "takes
+insignificant amount of running time").
+"""
+
+import pytest
+
+from repro.decomposition import choose_plan, enumerate_plans
+from repro.query import PAPER_QUERY_SIZES, paper_queries, satellite, treewidth
+
+from bench_common import emit_table
+
+
+def test_fig8_query_inventory(benchmark):
+    rows = []
+    for name, q in paper_queries().items():
+        plans = enumerate_plans(q)
+        best = choose_plan(q)
+        rows.append(
+            {
+                "query": name,
+                "paper_k": PAPER_QUERY_SIZES[name],
+                "ours_k": q.k,
+                "edges": q.num_edges(),
+                "treewidth": treewidth(q),
+                "plans": len(plans),
+                "longest_cycle": best.longest_cycle(),
+                "blocks": len(best.blocks()),
+            }
+        )
+    sat = satellite()
+    rows.append(
+        {
+            "query": "satellite (Fig 2)",
+            "paper_k": 11,
+            "ours_k": sat.k,
+            "edges": sat.num_edges(),
+            "treewidth": treewidth(sat),
+            "plans": len(enumerate_plans(sat)),
+            "longest_cycle": choose_plan(sat).longest_cycle(),
+            "blocks": len(choose_plan(sat).blocks()),
+        }
+    )
+    emit_table("fig8", rows, title="Figure 8: query library (reconstructed)")
+
+    for r in rows:
+        assert r["treewidth"] <= 2
+        assert r["paper_k"] == r["ours_k"]
+
+    # benchmark the planner on the largest query
+    result = benchmark(lambda: choose_plan(paper_queries()["brain2"]))
+    assert result.longest_cycle() >= 3

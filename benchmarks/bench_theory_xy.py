@@ -1,0 +1,83 @@
+"""Section 9 — X(q) vs Y(q) on Chung-Lu power-law graphs.
+
+Theorem 9.1 / Corollary 9.9: on truncated-power-law Chung-Lu graphs the
+DB work proxy X(q) (high-starting paths) is polynomially smaller than the
+PS work proxy Y(q) (highest-id paths).  This bench counts both exactly on
+sampled graphs of growing size and checks:
+
+* X(q) <= Y(q) at every size (Lemma 9.7's O(.) relation, empirically);
+* the Y/X ratio grows with n (the polynomial gap of Corollary 9.9);
+* the closed-form bound formulas track the measured counts.
+"""
+
+import numpy as np
+import pytest
+
+from repro.theory import (
+    count_x_paths,
+    count_y_paths,
+    power_law_exponents,
+    power_law_graph,
+    x_upper_bound,
+    y_lower_bound,
+)
+
+from bench_common import emit_table
+
+ALPHA = 1.5
+SIZES = [256, 512, 1024, 2048]
+Q = 3  # path length for cycle queries of length 5-6 (q = ceil(k/2))
+
+
+def test_theory_xy_gap(benchmark):
+    rows = []
+    ratios = []
+    for n in SIZES:
+        rng = np.random.default_rng(900 + n)
+        g, seq = power_law_graph(n, ALPHA, rng)
+        ids = rng.permutation(g.n)
+        y = count_y_paths(g, Q, ids=ids)
+        x = count_x_paths(g, Q)
+        ratios.append(y / max(x, 1))
+        rows.append(
+            {
+                "n": n,
+                "m": g.m,
+                "Y(q)_measured": y,
+                "X(q)_measured": x,
+                "Y/X": y / max(x, 1),
+                "Y_bound": y_lower_bound(seq, Q),
+                "X_bound": x_upper_bound(seq, Q),
+            }
+        )
+    exps = power_law_exponents(ALPHA, Q)
+    emit_table(
+        "theory_xy",
+        rows,
+        title=f"Section 9: X(q)/Y(q), alpha={ALPHA}, q={Q} "
+        f"(predicted exponents: Y ~ n^{exps['y']:.2f}, X ~ n^{exps['x']:.2f})",
+    )
+
+    # Lemma 9.7 shape: X never exceeds Y.
+    for row in rows:
+        assert row["X(q)_measured"] <= row["Y(q)_measured"]
+    # Corollary 9.9 shape: the gap widens with n.
+    assert ratios[-1] > ratios[0]
+
+    # measured growth exponent of the gap is positive
+    gap_exp = np.polyfit(np.log(SIZES), np.log(ratios), 1)[0]
+    emit_table(
+        "theory_xy_summary",
+        [
+            {
+                "measured_gap_exponent": float(gap_exp),
+                "predicted_gap_exponent": exps["y"] - exps["x"],
+            }
+        ],
+        title="Section 9 summary: polynomial Y/X gap (Corollary 9.9)",
+    )
+    assert gap_exp > 0.05
+
+    rng = np.random.default_rng(1)
+    g, _ = power_law_graph(512, ALPHA, rng)
+    benchmark(lambda: count_x_paths(g, Q))

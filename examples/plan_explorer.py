@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Decomposition-plan explorer: enumerate, rank and visualise plans.
+
+Walks through Section 4's decomposition machinery on the Satellite query
+of Figure 2 (the worked example of the paper) and on brain1 (the paper's
+two-plan example): enumerates all decomposition trees, shows the
+heuristic's ranking factors, and prints the chosen tree in the same
+block-by-block structure as the paper's figure.
+
+Run:  python examples/plan_explorer.py [query_name]
+"""
+
+import sys
+
+from repro.decomposition import enumerate_plans, rank_plans
+from repro.query import paper_queries, satellite, treewidth
+
+
+def explore(q) -> None:
+    print(f"\n=== {q.name} (k={q.k}, edges={q.num_edges()}, treewidth={treewidth(q)}) ===")
+    plans = rank_plans(enumerate_plans(q))
+    print(f"{len(plans)} decomposition tree(s); ranked by "
+          "(longest cycle, cycle annotations, boundary nodes, total annotations):")
+    for i, p in enumerate(plans[:8]):
+        marker = " <- heuristic pick" if i == 0 else ""
+        cycles = sorted(b.length for b in p.cycle_blocks())
+        print(f"  #{i}: key={p.heuristic_key()} cycles={cycles}{marker}")
+    if len(plans) > 8:
+        print(f"  ... {len(plans) - 8} more")
+    print("\nchosen tree:")
+    print(plans[0].describe())
+
+
+def main() -> None:
+    if len(sys.argv) > 1:
+        name = sys.argv[1]
+        if name == "satellite":
+            explore(satellite())
+        else:
+            explore(paper_queries()[name])
+        return
+    explore(satellite())
+    explore(paper_queries()["brain1"])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: count a cyclic motif in a scale-free network.
+
+Walks the full pipeline of the paper on a small synthetic social network:
+
+1. build a data graph,
+2. pick a treewidth-2 query from the Figure 8 library,
+3. let the planner choose a decomposition tree,
+4. run the color-coding estimator with the DB algorithm,
+5. convert matches to subgraph counts and sanity-check against brute force.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import count, count_exact, paper_query
+from repro.decomposition import choose_plan
+from repro.graph import chung_lu_power_law
+from repro.graph.properties import graph_summary, largest_component_subgraph
+from repro.query import automorphism_count
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # 1. A ~300-node power-law data graph (small enough to brute force).
+    g = largest_component_subgraph(
+        chung_lu_power_law(300, alpha=1.7, rng=rng, name="demo-social")
+    )
+    print("data graph:", graph_summary(g))
+
+    # 2. The 4-cycle graphlet query (Figure 8's glet1).
+    q = paper_query("glet1")
+    print(f"query: {q.name} with k={q.k} nodes, {q.num_edges()} edges")
+
+    # 3. The decomposition tree the Section 6 heuristic picks.
+    plan = choose_plan(q)
+    print("decomposition tree:")
+    print(plan.describe())
+
+    # 4. Color-coding estimation (10 random colorings, DB algorithm).
+    result = count(g, q, trials=10, seed=42, method="db", plan=plan)
+    print(f"colorful counts per trial: {result.colorful_counts}")
+    print(f"estimated matches       : {result.estimate:,.0f}")
+    print(f"estimated subgraphs     : {result.estimate / automorphism_count(q):,.0f}")
+    print(f"relative std            : {result.relative_std:.3f}")
+
+    # 5. Ground truth (exponential brute force — fine at this scale).
+    exact = count_exact(g, q)
+    err = abs(result.estimate - exact) / exact if exact else 0.0
+    print(f"exact matches           : {exact:,}")
+    print(f"estimation error        : {100 * err:.1f}%")
+
+
+if __name__ == "__main__":
+    main()

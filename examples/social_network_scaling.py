@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Social-network analysis: PS vs DB and load balance on skewed graphs.
+
+Demonstrates the paper's core systems claim on a social-network-style
+workload: the Degree Based algorithm works around hubs, cutting both total
+work and the maximum per-rank load, and the advantage grows with skew.
+
+The script builds two networks — one heavy-tailed ("social") and one flat
+("road") — and compares PS and DB on each with the simulated distributed
+engine, printing improvement factors, load imbalance and a strong-scaling
+curve.
+
+Run:  python examples/social_network_scaling.py
+"""
+
+import numpy as np
+
+from repro.counting.estimator import random_coloring
+from repro.decomposition import choose_plan
+from repro.distributed import compare_methods, strong_scaling
+from repro.graph import grid_road_network
+from repro.graph.degree import zipf_degree_sequence
+from repro.graph.generators import chung_lu
+from repro.graph.properties import graph_summary, largest_component_subgraph
+from repro.query import paper_query
+
+RANKS = 16
+
+
+def build_networks(rng):
+    seq = zipf_degree_sequence(600, 2.0, 5.0, max_degree=110, rng=rng)
+    social = largest_component_subgraph(chung_lu(seq, rng, name="social"))
+    road = largest_component_subgraph(
+        grid_road_network(25, 25, rng, rewire_prob=0.02, name="road")
+    )
+    return social, road
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    social, road = build_networks(rng)
+    q = paper_query("wiki")
+    plan = choose_plan(q)
+
+    print("query:", q.name, f"(k={q.k}, longest cycle {plan.longest_cycle()})")
+    print(f"{'network':8s} {'skew':>6s} {'count':>12s} {'IF=T(PS)/T(DB)':>15s} "
+          f"{'imb PS':>7s} {'imb DB':>7s}")
+    for g in (social, road):
+        colors = random_coloring(g.n, q.k, rng)
+        cmp = compare_methods(g, q, colors, nranks=RANKS, ps_plan=plan)
+        print(
+            f"{g.name:8s} {g.degree_skew():6.1f} {cmp.db.count:12,d} "
+            f"{cmp.improvement_factor:15.2f} "
+            f"{cmp.ps.imbalance:7.2f} {cmp.db.imbalance:7.2f}"
+        )
+
+    print("\nStrong scaling of DB on the social network (modeled makespan):")
+    colors = random_coloring(social.n, q.k, rng)
+    curve = strong_scaling(social, q, colors, ranks=[1, 2, 4, 8, 16], plan=plan)
+    for r, s in zip(curve.ranks, curve.speedups()):
+        bar = "#" * int(round(4 * s))
+        print(f"  {r:3d} ranks: speedup {s:5.2f}x  {bar}")
+
+    print("\nTakeaway: on the skewed network DB beats PS and stays balanced;")
+    print("on the flat road network the pruning buys nothing (paper Fig 10).")
+
+
+if __name__ == "__main__":
+    main()

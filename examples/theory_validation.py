@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""Theory validation: the Section 9 analysis, empirically.
+
+Samples Chung-Lu graphs with truncated-power-law degree sequences and
+counts the two work proxies exactly:
+
+* Y(q) — paths whose start has the highest id (PS work, Lemma 9.5);
+* X(q) — high-starting paths in the degree order (DB work, Lemma 9.6);
+
+then compares their growth against the closed-form predictions of
+Theorem 9.1 / Corollary 9.9 and checks the λ-balance of the sequences
+(Claim 10.1).
+
+Run:  python examples/theory_validation.py
+"""
+
+import numpy as np
+
+from repro.theory import (
+    balance_report,
+    count_x_paths,
+    count_y_paths,
+    power_law_exponents,
+    power_law_graph,
+    x_upper_bound,
+    y_lower_bound,
+)
+
+ALPHA = 1.5
+Q = 3
+SIZES = [256, 512, 1024, 2048]
+
+
+def main() -> None:
+    exps = power_law_exponents(ALPHA, Q)
+    print(f"Chung-Lu truncated power law, alpha={ALPHA}, path length q={Q}")
+    print(f"predicted growth: Y(q) ~ n^{exps['y']:.2f},  X(q) ~ n^{exps['x']:.2f}"
+          + ("  (n log n regime)" if exps["x_is_nlogn"] else ""))
+    print(f"\n{'n':>6s} {'edges':>7s} {'Y(q)':>10s} {'X(q)':>10s} {'Y/X':>7s} "
+          f"{'Y bound':>10s} {'X bound':>10s} {'lambda':>9s}")
+
+    ratios = []
+    for n in SIZES:
+        rng = np.random.default_rng(n)
+        g, seq = power_law_graph(n, ALPHA, rng)
+        ids = rng.permutation(g.n)
+        y = count_y_paths(g, Q, ids=ids)
+        x = count_x_paths(g, Q)
+        ratios.append(y / max(x, 1))
+        bal = balance_report(seq, ALPHA)
+        print(
+            f"{n:6d} {g.m:7d} {y:10d} {x:10d} {y / max(x, 1):7.2f} "
+            f"{y_lower_bound(seq, Q):10.0f} {x_upper_bound(seq, Q):10.0f} "
+            f"{bal['lambda_empirical']:9.5f}"
+        )
+
+    slope = np.polyfit(np.log(SIZES), np.log(ratios), 1)[0]
+    print(f"\nmeasured Y/X gap exponent: {slope:.2f} "
+          f"(Corollary 9.9 predicts a positive polynomial gap)")
+    print("DB's degree ordering prunes polynomially more as graphs grow — the")
+    print("theoretical root of the empirical wins in Figures 10-13.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs (which build a wheel) fail.  This shim lets
+``python setup.py develop`` / ``pip install -e . --no-build-isolation``
+fall back to the classic setuptools code path.
+"""
+
+from setuptools import setup
+
+setup()

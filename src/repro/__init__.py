@@ -1,0 +1,51 @@
+"""repro — Color Coding Beyond Trees.
+
+A reproduction of *"Subgraph Counting: Color Coding Beyond Trees"*
+(Chakaravarthy, Kapralov, Murali, Petrini, Que, Sabharwal, Schieber;
+IPDPS 2016): distributed color-coding for counting occurrences of
+treewidth-2 query graphs in large data graphs.
+
+Public surface (see subpackages for the full API):
+
+* :mod:`repro.graph` — CSR data graphs and generators;
+* :mod:`repro.query` — query graphs, treewidth, the Figure 8 library;
+* :mod:`repro.decomposition` — decomposition trees and the plan heuristic;
+* :mod:`repro.counting` — the PS baseline, the DB algorithm, the treelet
+  DP, brute-force references and the color-coding estimator;
+* :mod:`repro.distributed` — the simulated distributed engine;
+* :mod:`repro.theory` — the Section 9 analysis toolkit;
+* :mod:`repro.bench` — dataset stand-ins and the experiment harness.
+"""
+
+from . import counting, decomposition, distributed, graph, motifs, query, tables
+
+__version__ = "1.0.0"
+
+# Convenience re-exports for the quickstart path.
+from .counting import count, count_colorful, count_exact, estimate_matches, make_context
+from .decomposition import build_decomposition, choose_plan, enumerate_plans
+from .graph import Graph
+from .query import QueryGraph, paper_queries, paper_query
+
+__all__ = [
+    "Graph",
+    "QueryGraph",
+    "paper_query",
+    "paper_queries",
+    "count",
+    "count_colorful",
+    "count_exact",
+    "estimate_matches",
+    "make_context",
+    "build_decomposition",
+    "choose_plan",
+    "enumerate_plans",
+    "counting",
+    "decomposition",
+    "distributed",
+    "graph",
+    "motifs",
+    "query",
+    "tables",
+    "__version__",
+]

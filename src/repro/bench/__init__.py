@@ -1,0 +1,35 @@
+"""Benchmark support: Table 1 dataset stand-ins and the print harness."""
+
+from .datasets import PAPER_TABLE1, DatasetSpec, all_datasets, dataset, dataset_names
+from .report import REPORT_ORDER, collect_results, render_report
+from .harness import (
+    SIM_RANKS_HIGH,
+    SIM_RANKS_LOW,
+    Timer,
+    bench_scale,
+    format_table,
+    geometric_mean,
+    grid_graph_names,
+    grid_query_names,
+    print_table,
+)
+
+__all__ = [
+    "PAPER_TABLE1",
+    "DatasetSpec",
+    "dataset",
+    "dataset_names",
+    "all_datasets",
+    "bench_scale",
+    "format_table",
+    "print_table",
+    "Timer",
+    "geometric_mean",
+    "grid_graph_names",
+    "grid_query_names",
+    "SIM_RANKS_LOW",
+    "SIM_RANKS_HIGH",
+    "collect_results",
+    "render_report",
+    "REPORT_ORDER",
+]

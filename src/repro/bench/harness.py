@@ -1,0 +1,142 @@
+"""Experiment harness: table formatting, scaled-down experiment grids.
+
+Every benchmark prints its results as an aligned text table (one per
+paper table/figure), with paper-reported reference values alongside where
+applicable.  ``REPRO_BENCH_SCALE`` (environment variable, default 1.0)
+scales workload sizes for quick smoke runs vs fuller sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from contextlib import contextmanager
+from typing import Dict, Iterable, List, Optional, Sequence
+
+__all__ = [
+    "bench_scale",
+    "format_table",
+    "print_table",
+    "Timer",
+    "geometric_mean",
+    "grid_graph_names",
+    "grid_query_names",
+    "SIM_RANKS_LOW",
+    "SIM_RANKS_HIGH",
+]
+
+#: Simulated rank counts standing in for the paper's 32 and 512 MPI ranks
+#: (scaled with the ~100x graph downscale; the *ratio* 16x is preserved).
+SIM_RANKS_LOW = 2
+SIM_RANKS_HIGH = 32
+
+
+def bench_scale() -> float:
+    """Workload scale multiplier from the environment (default 1.0)."""
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+    except ValueError:
+        return 1.0
+
+
+def grid_graph_names(light: bool = False) -> List[str]:
+    """Datasets used for graph-x-query grids; light mode trims the list."""
+    full = [
+        "condmat",
+        "astroph",
+        "enron",
+        "brightkite",
+        "hepph",
+        "slashdot",
+        "epinions",
+        "orkut",
+        "roadnetca",
+        "brain",
+    ]
+    if light or bench_scale() < 1.0:
+        return ["condmat", "enron", "epinions", "roadnetca"]
+    return full
+
+
+def grid_query_names(light: bool = False) -> List[str]:
+    """Queries used for graph-x-query grids; light mode trims the list."""
+    full = [
+        "glet1",
+        "glet2",
+        "youtube",
+        "wiki",
+        "dros",
+        "ecoli1",
+        "ecoli2",
+        "brain1",
+        "brain2",
+        "brain3",
+    ]
+    if light or bench_scale() < 1.0:
+        return ["glet1", "youtube", "wiki", "dros"]
+    return full
+
+
+class Timer:
+    """Wall-clock stopwatch."""
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+
+    @contextmanager
+    def measure(self):
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.elapsed = time.perf_counter() - start
+
+
+def geometric_mean(values: Sequence[float]) -> float:
+    """Geometric mean over the positive entries (0.0 when none)."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return float(math.exp(sum(math.log(v) for v in vals) / len(vals)))
+
+
+def format_table(
+    rows: Iterable[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    floatfmt: str = ".3g",
+) -> str:
+    """Render dict rows as an aligned monospace table."""
+    rows = list(rows)
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    cols = list(columns) if columns else list(rows[0].keys())
+
+    def cell(row: Dict[str, object], c: str) -> str:
+        v = row.get(c, "")
+        if isinstance(v, float):
+            return format(v, floatfmt)
+        return str(v)
+
+    rendered = [[cell(r, c) for c in cols] for r in rows]
+    widths = [max(len(c), *(len(row[i]) for row in rendered)) for i, c in enumerate(cols)]
+    lines = []
+    if title:
+        lines.append(f"== {title} ==")
+    lines.append("  ".join(c.ljust(w) for c, w in zip(cols, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered:
+        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(
+    rows: Iterable[Dict[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    title: str = "",
+    floatfmt: str = ".3g",
+) -> None:
+    """Print an aligned table built by :func:`format_table`."""
+    print()
+    print(format_table(rows, columns=columns, title=title, floatfmt=floatfmt))

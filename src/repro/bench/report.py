@@ -1,0 +1,74 @@
+"""Aggregate saved benchmark tables into one experiment report.
+
+Each bench writes its table to ``benchmarks/results/<name>.txt``; this
+module stitches them into a single document ordered like the paper's
+evaluation section, for the CLI's ``report`` subcommand.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, Optional
+
+__all__ = ["collect_results", "render_report", "REPORT_ORDER"]
+
+#: paper order of the result files (missing ones are skipped)
+REPORT_ORDER = [
+    ("table1", "Table 1 — data graphs"),
+    ("fig8", "Figure 8 — query benchmark"),
+    ("fig9_per_graph", "Figure 9a — avg time per graph"),
+    ("fig9_per_query", "Figure 9b — avg time per query"),
+    ("fig10", "Figure 10 — improvement factor grid"),
+    ("fig10_summary", "Figure 10 — summary"),
+    ("fig11", "Figure 11 — load balance on enron"),
+    ("fig12_per_query", "Figure 12a — speedup per query"),
+    ("fig12_per_graph", "Figure 12b — speedup per graph"),
+    ("fig13_strong", "Figure 13a — strong scaling"),
+    ("fig13_weak", "Figure 13b — weak scaling"),
+    ("fig14", "Figure 14 — plan heuristic"),
+    ("fig14_summary", "Figure 14 — summary"),
+    ("fig15", "Figure 15 — precision"),
+    ("fig15_summary", "Figure 15 — summary"),
+    ("theory_xy", "Section 9 — X(q)/Y(q)"),
+    ("theory_xy_summary", "Section 9 — gap summary"),
+    ("ablation_plans", "Ablation — plan spread"),
+    ("ablation_ps_even", "Ablation — even-split PS"),
+    ("ablation_partition", "Ablation — partition strategy"),
+    ("extension_colors", "Extension — larger color palettes"),
+]
+
+
+def collect_results(results_dir: str) -> Dict[str, str]:
+    """name -> table text for every saved result file."""
+    out: Dict[str, str] = {}
+    if not os.path.isdir(results_dir):
+        return out
+    for fname in sorted(os.listdir(results_dir)):
+        if fname.endswith(".txt"):
+            with open(os.path.join(results_dir, fname), "r", encoding="utf-8") as fh:
+                out[fname[: -len(".txt")]] = fh.read().rstrip()
+    return out
+
+
+def render_report(results_dir: str, include_unlisted: bool = True) -> str:
+    """The full report, paper-ordered, with any extra files appended."""
+    tables = collect_results(results_dir)
+    if not tables:
+        return (
+            f"No benchmark results under {results_dir}.\n"
+            "Run: pytest benchmarks/ --benchmark-only -s"
+        )
+    lines: List[str] = ["# Benchmark report (regenerated tables)", ""]
+    used = set()
+    for key, heading in REPORT_ORDER:
+        if key in tables:
+            used.add(key)
+            lines.append(f"## {heading}")
+            lines.append(tables[key])
+            lines.append("")
+    if include_unlisted:
+        for key in sorted(set(tables) - used):
+            lines.append(f"## {key}")
+            lines.append(tables[key])
+            lines.append("")
+    return "\n".join(lines)

@@ -1,0 +1,201 @@
+"""Command-line interface: ``repro-count`` / ``python -m repro.cli``.
+
+Subcommands
+-----------
+``count``      approximate match counting on a dataset or edge-list file;
+``compare``    PS vs DB on one input (improvement factor, load balance);
+``plan``       show the decomposition tree the planner picks for a query;
+``verify``     run the self-verification battery on one input;
+``trace``      superstep trace of a simulated distributed run;
+``report``     aggregate saved benchmark tables into one document;
+``datasets``   list the Table 1 stand-in graphs with their statistics;
+``queries``    list the Figure 8 query library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+import numpy as np
+
+from .bench.datasets import dataset, dataset_names
+from .counting.estimator import estimate_matches
+from .decomposition.enumeration import enumerate_plans
+from .decomposition.planner import choose_plan
+from .graph.io import read_edge_list
+from .graph.properties import graph_summary
+from .query.automorphisms import automorphism_count
+from .query.library import PAPER_QUERY_SIZES, paper_queries, paper_query
+from .query.treewidth import treewidth
+
+
+def _load_graph(arg: str):
+    if arg in dataset_names():
+        return dataset(arg)
+    return read_edge_list(arg)
+
+
+def _cmd_count(args: argparse.Namespace) -> int:
+    g = _load_graph(args.graph)
+    q = paper_query(args.query)
+    t0 = time.perf_counter()
+    result = estimate_matches(
+        g, q, trials=args.trials, seed=args.seed, method=args.method
+    )
+    dt = time.perf_counter() - t0
+    print(f"graph          : {g.name} (n={g.n}, m={g.m})")
+    print(f"query          : {q.name} (k={q.k})")
+    print(f"method         : {args.method}, trials={args.trials}")
+    print(f"colorful counts: {result.colorful_counts}")
+    print(f"match estimate : {result.estimate:.6g}")
+    print(f"subgraph est.  : {result.estimate / automorphism_count(q):.6g}")
+    print(f"rel. std       : {result.relative_std:.4f}")
+    print(f"elapsed        : {dt:.2f}s")
+    return 0
+
+
+def _cmd_plan(args: argparse.Namespace) -> int:
+    q = paper_query(args.query)
+    plans = enumerate_plans(q)
+    best = choose_plan(q)
+    print(f"query {q.name}: k={q.k}, treewidth={treewidth(q)}, plans={len(plans)}")
+    print(f"heuristic key (longest cycle, boundary, annotations): {best.heuristic_key()}")
+    print(best.describe())
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .counting.colorings import uniform_coloring
+    from .distributed.metrics import compare_methods
+
+    g = _load_graph(args.graph)
+    q = paper_query(args.query)
+    rng = np.random.default_rng(args.seed)
+    colors = uniform_coloring(g.n, q.k, rng)
+    cmp = compare_methods(g, q, colors, nranks=args.ranks)
+    print(f"graph {g.name} (n={g.n}, m={g.m}, skew={g.degree_skew():.1f}) x "
+          f"query {q.name} (k={q.k}) @ {args.ranks} simulated ranks")
+    print(f"colorful count      : {cmp.db.count}")
+    print(f"PS  makespan / imb  : {cmp.ps.makespan:.0f} / {cmp.ps.imbalance:.2f}")
+    print(f"DB  makespan / imb  : {cmp.db.makespan:.0f} / {cmp.db.imbalance:.2f}")
+    print(f"improvement factor  : {cmp.improvement_factor:.2f}x")
+    print(f"max-load reduction  : {cmp.load_reduction:.2f}x")
+    return 0
+
+
+def _cmd_verify(args: argparse.Namespace) -> int:
+    from .counting.verify import verify_counting
+
+    g = _load_graph(args.graph)
+    q = paper_query(args.query)
+    report = verify_counting(g, q, seed=args.seed)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .counting.colorings import uniform_coloring
+    from .distributed.engine import run_distributed
+    from .distributed.trace import format_trace
+
+    g = _load_graph(args.graph)
+    q = paper_query(args.query)
+    rng = np.random.default_rng(args.seed)
+    colors = uniform_coloring(g.n, q.k, rng)
+    run = run_distributed(g, q, colors, args.ranks, method=args.method)
+    print(f"count={run.count} makespan={run.makespan:.0f} speedup={run.speedup:.2f}")
+    print(format_trace(run.stats, top=args.top))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import os
+
+    from .bench.report import render_report
+
+    results_dir = args.results_dir or os.path.join(
+        os.getcwd(), "benchmarks", "results"
+    )
+    print(render_report(results_dir))
+    return 0
+
+
+def _cmd_datasets(_args: argparse.Namespace) -> int:
+    for name in dataset_names():
+        print(graph_summary(dataset(name)))
+    return 0
+
+
+def _cmd_queries(_args: argparse.Namespace) -> int:
+    for name, q in paper_queries().items():
+        print(
+            f"{name:8s} k={q.k:2d} (paper: {PAPER_QUERY_SIZES[name]:2d}) "
+            f"edges={q.num_edges():2d} tw={treewidth(q)}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-count",
+        description="Color coding beyond trees: treewidth-2 subgraph counting",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_count = sub.add_parser("count", help="approximate match counting")
+    p_count.add_argument("--graph", required=True, help="dataset name or edge-list path")
+    p_count.add_argument("--query", required=True, help="paper query name (see `queries`)")
+    p_count.add_argument("--method", choices=("ps", "db"), default="db")
+    p_count.add_argument("--trials", type=int, default=5)
+    p_count.add_argument("--seed", type=int, default=0)
+    p_count.set_defaults(func=_cmd_count)
+
+    p_plan = sub.add_parser("plan", help="show the chosen decomposition tree")
+    p_plan.add_argument("--query", required=True)
+    p_plan.set_defaults(func=_cmd_plan)
+
+    p_cmp = sub.add_parser("compare", help="PS vs DB on one input")
+    p_cmp.add_argument("--graph", required=True)
+    p_cmp.add_argument("--query", required=True)
+    p_cmp.add_argument("--ranks", type=int, default=16)
+    p_cmp.add_argument("--seed", type=int, default=0)
+    p_cmp.set_defaults(func=_cmd_compare)
+
+    p_ver = sub.add_parser("verify", help="run the self-verification battery")
+    p_ver.add_argument("--graph", required=True)
+    p_ver.add_argument("--query", required=True)
+    p_ver.add_argument("--seed", type=int, default=0)
+    p_ver.set_defaults(func=_cmd_verify)
+
+    p_tr = sub.add_parser("trace", help="superstep trace of a simulated run")
+    p_tr.add_argument("--graph", required=True)
+    p_tr.add_argument("--query", required=True)
+    p_tr.add_argument("--ranks", type=int, default=8)
+    p_tr.add_argument("--method", choices=("ps", "db", "ps-even"), default="db")
+    p_tr.add_argument("--seed", type=int, default=0)
+    p_tr.add_argument("--top", type=int, default=8)
+    p_tr.set_defaults(func=_cmd_trace)
+
+    p_rep = sub.add_parser("report", help="aggregate saved benchmark tables")
+    p_rep.add_argument("--results-dir", default=None)
+    p_rep.set_defaults(func=_cmd_report)
+
+    p_ds = sub.add_parser("datasets", help="list dataset stand-ins")
+    p_ds.set_defaults(func=_cmd_datasets)
+
+    p_q = sub.add_parser("queries", help="list the Figure 8 query library")
+    p_q.set_defaults(func=_cmd_queries)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

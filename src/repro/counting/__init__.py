@@ -1,0 +1,48 @@
+"""Counting algorithms: PS baseline, DB contribution, treelet DP, estimator."""
+
+from .api import count, count_colorful, count_exact, make_context
+from .bruteforce import count_colorful_matches, count_matches
+from .colorings import (
+    balanced_coloring,
+    color_class_sizes,
+    coloring_batch,
+    uniform_coloring,
+)
+from .parallel import estimate_matches_parallel
+from .verify import VerificationReport, verify_counting
+from .db import count_colorful_db
+from .estimator import (
+    EstimateResult,
+    estimate_matches,
+    normalization_factor,
+    random_coloring,
+)
+from .ps import count_colorful_ps
+from .solver import METHODS, BlockSolver, solve_plan
+from .treelet import count_colorful_treelet
+
+__all__ = [
+    "count",
+    "count_colorful",
+    "count_exact",
+    "make_context",
+    "count_matches",
+    "count_colorful_matches",
+    "count_colorful_ps",
+    "count_colorful_db",
+    "count_colorful_treelet",
+    "solve_plan",
+    "BlockSolver",
+    "METHODS",
+    "EstimateResult",
+    "estimate_matches",
+    "normalization_factor",
+    "random_coloring",
+    "uniform_coloring",
+    "balanced_coloring",
+    "coloring_batch",
+    "color_class_sizes",
+    "estimate_matches_parallel",
+    "verify_counting",
+    "VerificationReport",
+]

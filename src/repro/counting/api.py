@@ -1,0 +1,82 @@
+"""High-level public API for subgraph counting.
+
+Typical use::
+
+    from repro import counting, graph, query
+
+    g = graph.chung_lu_power_law(500, alpha=1.9, rng=np.random.default_rng(0))
+    q = query.paper_query("brain1")
+    result = counting.count(g, q, trials=5, seed=1)
+    print(result.estimate, "matches ~", result.estimated_subgraphs(q), "subgraphs")
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..distributed.partition import make_partition
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from .bruteforce import count_matches
+from .db import count_colorful_db
+from .estimator import EstimateResult, estimate_matches
+from .ps import count_colorful_ps
+from .solver import solve_plan
+
+__all__ = [
+    "count_colorful",
+    "count",
+    "count_exact",
+    "make_context",
+]
+
+
+def make_context(
+    g: Graph, nranks: int = 1, strategy: str = "block", track: bool = True
+) -> ExecutionContext:
+    """Execution context simulating ``nranks`` ranks over ``g``."""
+    return ExecutionContext(make_partition(g.n, nranks, strategy), track=track)
+
+
+def count_colorful(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    method: str = "db",
+    plan: Optional[Plan] = None,
+    ctx: Optional[ExecutionContext] = None,
+) -> int:
+    """Colorful matches under a fixed coloring with the chosen method."""
+    if method == "db":
+        return count_colorful_db(g, query, colors, plan=plan, ctx=ctx)
+    if method == "ps":
+        return count_colorful_ps(g, query, colors, plan=plan, ctx=ctx)
+    if method == "ps-even":
+        plan = plan or heuristic_plan(query)
+        return solve_plan(plan, g, np.asarray(colors), ctx=ctx, method="ps-even")
+    raise ValueError(f"unknown method {method!r}; use 'ps', 'db' or 'ps-even'")
+
+
+def count(
+    g: Graph,
+    query: QueryGraph,
+    trials: int = 10,
+    seed: int = 0,
+    method: str = "db",
+    plan: Optional[Plan] = None,
+    ctx: Optional[ExecutionContext] = None,
+) -> EstimateResult:
+    """Approximate match counting by repeated color-coding trials."""
+    return estimate_matches(
+        g, query, trials=trials, seed=seed, method=method, plan=plan, ctx=ctx
+    )
+
+
+def count_exact(g: Graph, query: QueryGraph) -> int:
+    """Exact match count by brute force (small inputs only)."""
+    return count_matches(g, query)

@@ -1,0 +1,111 @@
+"""Reference counters by exhaustive backtracking (validation only).
+
+These are the ground truth for the test suite: tiny-instance exact counts
+of matches (injective edge-preserving mappings, Section 2) and of colorful
+matches under a fixed coloring.  Exponential — use only on small inputs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional, Sequence
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+
+__all__ = ["count_matches", "count_colorful_matches"]
+
+
+def _search_order(q: QueryGraph) -> List[Hashable]:
+    """Query nodes ordered so each (after the first) touches a prior node.
+
+    Connectivity-aware ordering lets the backtracking prune through edge
+    constraints immediately.  Falls back to plain order for disconnected
+    queries.
+    """
+    nodes = q.nodes()
+    if not nodes:
+        return []
+    order = [max(nodes, key=q.degree)]
+    placed = {order[0]}
+    while len(order) < len(nodes):
+        frontier = [
+            v
+            for v in nodes
+            if v not in placed and any(u in placed for u in q.adj[v])
+        ]
+        if not frontier:
+            rest = [v for v in nodes if v not in placed]
+            frontier = [rest[0]]
+        nxt = max(frontier, key=lambda v: sum(u in placed for u in q.adj[v]))
+        order.append(nxt)
+        placed.add(nxt)
+    return order
+
+
+def _count(
+    g: Graph,
+    q: QueryGraph,
+    colors: Optional[np.ndarray],
+) -> int:
+    order = _search_order(q)
+    k = len(order)
+    pos = {v: i for i, v in enumerate(order)}
+    # For each query node, the earlier-placed neighbours it must attach to.
+    back_edges: List[List[int]] = [
+        sorted(pos[u] for u in q.adj[v] if pos[u] < i) for i, v in enumerate(order)
+    ]
+    assignment: List[int] = [0] * k
+    used_vertices = set()
+    used_colors = set()
+    total = 0
+
+    def backtrack(i: int) -> None:
+        nonlocal total
+        if i == k:
+            total += 1
+            return
+        anchors = back_edges[i]
+        if anchors:
+            # candidates: neighbours of the first anchor (smallest set wins
+            # would be better; first is fine at validation scale)
+            candidates = g.neighbors(assignment[anchors[0]])
+        else:
+            candidates = range(g.n)
+        for cand in candidates:
+            cand = int(cand)
+            if cand in used_vertices:
+                continue
+            if colors is not None and int(colors[cand]) in used_colors:
+                continue
+            ok = True
+            for a in anchors:
+                if not g.has_edge(assignment[a], cand):
+                    ok = False
+                    break
+            if ok:
+                assignment[i] = cand
+                used_vertices.add(cand)
+                if colors is not None:
+                    used_colors.add(int(colors[cand]))
+                backtrack(i + 1)
+                used_vertices.discard(cand)
+                if colors is not None:
+                    used_colors.discard(int(colors[cand]))
+
+    backtrack(0)
+    return total
+
+
+def count_matches(g: Graph, q: QueryGraph) -> int:
+    """Exact number of matches (injective mappings preserving edges)."""
+    return _count(g, q, None)
+
+
+def count_colorful_matches(g: Graph, q: QueryGraph, colors: Sequence[int]) -> int:
+    """Exact number of colorful matches under a fixed coloring."""
+    colors_arr = np.asarray(colors, dtype=np.int64)
+    if len(colors_arr) != g.n:
+        raise ValueError("coloring must cover every data vertex")
+    return _count(g, q, colors_arr)

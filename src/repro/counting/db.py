@@ -1,0 +1,36 @@
+"""DB — the Degree Based algorithm (paper Section 5, Figures 6/7).
+
+A thin façade over :mod:`repro.counting.solver` with ``method="db"``.
+DB is the paper's contribution: cycle matches are partitioned by the
+position of their highest vertex in the (degree, id) total order; each
+partition is computed by two high-starting path sweeps from the highest
+node to its diagonal opposite, pruning every extension below the start.
+This works around high-degree vertices and balances load.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from .solver import solve_plan
+
+__all__ = ["count_colorful_db"]
+
+
+def count_colorful_db(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    plan: Optional[Plan] = None,
+    ctx: Optional[ExecutionContext] = None,
+) -> int:
+    """Colorful matches of ``query`` in ``g`` under ``colors`` via DB."""
+    plan = plan or heuristic_plan(query)
+    return solve_plan(plan, g, np.asarray(colors), ctx=ctx, method="db")

@@ -1,0 +1,347 @@
+"""Join kernels shared by the PS and DB algorithms (paper Section 5).
+
+Both algorithms reduce every block to the same three primitives:
+
+* **path building** — start from an edge table (graph edges ``BG`` or a
+  child block's projection table) and repeatedly apply ``EdgeJoin`` /
+  ``NodeJoin`` (Figure 7) to sweep along a cycle segment;
+* **cycle merge** — join the two path tables of a cycle on their shared
+  endpoints (Procedure 2 of Figures 4/6);
+* **leaf collapse** — fold the annotations of a leaf edge and project to
+  the boundary node.
+
+The **DB** algorithm passes ``high=True``: every vertex added to a path
+must be strictly lower (in the ``(degree, id)`` total order) than the
+path's start vertex — the paper's "high-starting matches" pruning — and
+cycle-boundary nodes that land strictly inside a path are carried in the
+``extras`` key fields (Configurations A/B of Section 5.1).
+
+Signature discipline: a partial colorful match is keyed by the exact set
+of colors it uses; two partial matches join iff their signatures intersect
+exactly in the colors of their shared vertices (``sig_disjoint_except``).
+Because matches are colorful, distinct colors imply distinct vertices, so
+no explicit vertex-disjointness checks are needed — the crucial trick that
+makes color coding cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..tables.projection import BinaryTable, PathTable, UnaryTable
+
+__all__ = [
+    "build_path_table",
+    "merge_cycle_paths",
+    "oriented_binary",
+    "node_join_unary",
+]
+
+Node = Hashable
+
+
+# ----------------------------------------------------------------------
+# orientation helpers
+# ----------------------------------------------------------------------
+
+def oriented_binary(
+    table: BinaryTable,
+    want_first: Node,
+    want_second: Node,
+    transpose_cache: Dict[int, BinaryTable],
+) -> BinaryTable:
+    """Return ``table`` oriented so its boundary is ``(want_first, want_second)``.
+
+    The paper (Section 5.2): "the boundary tables are transpose of each
+    other (cnt(u, v, α) = cnt(v, u, α)). Our algorithm maintains both the
+    tables and uses the appropriate one."  We materialise the transpose
+    lazily and cache it per source table.
+    """
+    if table.boundary == (want_first, want_second):
+        return table
+    if table.boundary == (want_second, want_first):
+        key = id(table)
+        if key not in transpose_cache:
+            transpose_cache[key] = table.transpose()
+        return transpose_cache[key]
+    raise ValueError(
+        f"table boundary {table.boundary!r} does not match edge "
+        f"({want_first!r}, {want_second!r})"
+    )
+
+
+# ----------------------------------------------------------------------
+# NodeJoin (Figure 7)
+# ----------------------------------------------------------------------
+
+def node_join_unary(
+    table: PathTable,
+    child: UnaryTable,
+    colors: np.ndarray,
+    on_start: bool,
+    ctx: ExecutionContext,
+) -> PathTable:
+    """Join a path table with the unary table of a block annotating one of
+    the path's nodes.  ``on_start`` selects whether the annotated node is
+    the path's start (key vertex ``u``) or its current end (``v``)."""
+    out = PathTable(table.record_labels)
+    index = child.by_vertex()
+    add = out.add
+    for (u, v, extras, sig), cnt in table.items():
+        x = u if on_start else v
+        lst = index.get(x)
+        if not lst:
+            continue
+        ctx.op(v, len(lst))
+        xbit = 1 << int(colors[x])
+        for sig2, cnt2 in lst:
+            if sig & sig2 == xbit:
+                add(u, v, extras, sig | sig2, cnt * cnt2)
+    return out
+
+
+# ----------------------------------------------------------------------
+# path building (Procedure 1 of Figures 4/6 + Figure 7)
+# ----------------------------------------------------------------------
+
+def build_path_table(
+    g: Graph,
+    colors: np.ndarray,
+    path_labels: Sequence[Node],
+    node_tables: Dict[Node, UnaryTable],
+    edge_tables: Dict[int, BinaryTable],
+    ctx: ExecutionContext,
+    *,
+    high: bool = False,
+    record_set: Optional[Set[Node]] = None,
+    stage_prefix: str = "path",
+) -> PathTable:
+    """Sweep a cycle segment, building its projection table.
+
+    Parameters
+    ----------
+    path_labels:
+        Query node labels along the segment, ``(s, ..., e)``, length ≥ 2.
+    node_tables:
+        ``label -> UnaryTable`` for exactly the node annotations this path
+        is responsible for (the caller enforces the paper's convention on
+        which path absorbs the annotations of the shared endpoints).
+    edge_tables:
+        ``step j -> BinaryTable`` for annotated edges; the table must be
+        oriented with first boundary ``path_labels[j]`` (use
+        :func:`oriented_binary`).  Steps without an entry use the data
+        graph's edges (the implicit ``BG`` block of Section 5.2).
+    high:
+        DB mode — every vertex after the start must be strictly lower than
+        the start in the degree order.
+    record_set:
+        Labels strictly inside the path whose images must be carried in
+        the ``extras`` fields (cycle boundary nodes, DB mode).
+    """
+    if len(path_labels) < 2:
+        raise ValueError("paths need at least one edge")
+    record_set = record_set or set()
+    rec_order = tuple(lab for lab in path_labels[1:-1] if lab in record_set)
+    rank = g.degree_order_rank() if high else None
+    colors_i = colors
+
+    table = PathTable(rec_order)
+    s_label = path_labels[0]
+
+    # --- initial edge (s -> path_labels[1]) ---------------------------
+    ctx.begin_stage(f"{stage_prefix}:init")
+    first_recorded = path_labels[1] in record_set
+    child0 = edge_tables.get(0)
+    if child0 is None:
+        _init_from_graph(g, colors_i, table, high, rank, first_recorded, ctx)
+    else:
+        _init_from_child(child0, table, high, rank, first_recorded, ctx)
+
+    # annotation on the start node joins on u (only if the caller gave it)
+    if s_label in node_tables:
+        ctx.begin_stage(f"{stage_prefix}:nj-start")
+        table = node_join_unary(table, node_tables[s_label], colors_i, True, ctx)
+    if path_labels[1] in node_tables:
+        ctx.begin_stage(f"{stage_prefix}:nj1")
+        table = node_join_unary(table, node_tables[path_labels[1]], colors_i, False, ctx)
+
+    # --- subsequent edges ---------------------------------------------
+    for j in range(1, len(path_labels) - 1):
+        nxt_label = path_labels[j + 1]
+        recorded = nxt_label in record_set
+        child = edge_tables.get(j)
+        ctx.begin_stage(f"{stage_prefix}:ext{j}")
+        if child is None:
+            table = _extend_with_graph(g, colors_i, table, high, rank, recorded, ctx)
+        else:
+            table = _extend_with_child(child, colors_i, table, high, rank, recorded, ctx)
+        if nxt_label in node_tables:
+            ctx.begin_stage(f"{stage_prefix}:nj{j + 1}")
+            table = node_join_unary(table, node_tables[nxt_label], colors_i, False, ctx)
+    return table
+
+
+def _init_from_graph(
+    g: Graph,
+    colors: np.ndarray,
+    table: PathTable,
+    high: bool,
+    rank: Optional[np.ndarray],
+    record_first: bool,
+    ctx: ExecutionContext,
+) -> None:
+    """Seed from the data graph's edges: cnt(u, v, {χu, χv}) = 1."""
+    add = table.add
+    for u in range(g.n):
+        nbrs = g.neighbors(u)
+        if len(nbrs) == 0:
+            continue
+        mask = colors[nbrs] != colors[u]
+        if high:
+            mask &= rank[nbrs] < rank[u]
+        cand = nbrs[mask]
+        ctx.op(u, len(nbrs))
+        if len(cand) == 0:
+            continue
+        ubit = 1 << int(colors[u])
+        for v in cand:
+            v = int(v)
+            extras = (v,) if record_first else ()
+            add(u, v, extras, ubit | (1 << int(colors[v])), 1)
+            ctx.emit(u, v)
+
+
+def _init_from_child(
+    child: BinaryTable,
+    table: PathTable,
+    high: bool,
+    rank: Optional[np.ndarray],
+    record_first: bool,
+    ctx: ExecutionContext,
+) -> None:
+    """Seed from an annotated edge's child projection table."""
+    add = table.add
+    for (u, v, sig), cnt in child.items():
+        if high and rank[v] >= rank[u]:
+            continue
+        ctx.op(v)
+        extras = (v,) if record_first else ()
+        add(u, v, extras, sig, cnt)
+
+
+def _extend_with_graph(
+    g: Graph,
+    colors: np.ndarray,
+    table: PathTable,
+    high: bool,
+    rank: Optional[np.ndarray],
+    record: bool,
+    ctx: ExecutionContext,
+) -> PathTable:
+    """EdgeJoin with the data graph (Procedure 1 inner loop)."""
+    out = PathTable(table.record_labels)
+    add = out.add
+    for (u, v, extras, sig), cnt in table.items():
+        nbrs = g.neighbors(v)
+        if len(nbrs) == 0:
+            continue
+        ctx.op(v, len(nbrs))
+        # colorful: the new vertex's color must be unused by this match
+        mask = ((sig >> colors[nbrs]) & 1) == 0
+        if high:
+            mask &= rank[nbrs] < rank[u]
+        cand = nbrs[mask]
+        for w in cand:
+            w = int(w)
+            new_extras = extras + (w,) if record else extras
+            add(u, w, new_extras, sig | (1 << int(colors[w])), cnt)
+            ctx.emit(v, w)
+
+
+    return out
+
+
+def _extend_with_child(
+    child: BinaryTable,
+    colors: np.ndarray,
+    table: PathTable,
+    high: bool,
+    rank: Optional[np.ndarray],
+    record: bool,
+    ctx: ExecutionContext,
+) -> PathTable:
+    """EdgeJoin with an annotated edge's projection table (Figure 7)."""
+    out = PathTable(table.record_labels)
+    add = out.add
+    index = child.by_first()
+    for (u, v, extras, sig), cnt in table.items():
+        lst = index.get(v)
+        if not lst:
+            continue
+        ctx.op(v, len(lst))
+        vbit = 1 << int(colors[v])
+        for w, sig2, cnt2 in lst:
+            if high and rank[w] >= rank[u]:
+                continue
+            if sig & sig2 == vbit:
+                new_extras = extras + (w,) if record else extras
+                add(u, w, new_extras, sig | sig2, cnt * cnt2)
+                ctx.emit(v, w)
+    return out
+
+
+# ----------------------------------------------------------------------
+# cycle merge (Procedure 2 of Figures 4/6)
+# ----------------------------------------------------------------------
+
+def merge_cycle_paths(
+    tplus: PathTable,
+    tminus: PathTable,
+    colors: np.ndarray,
+    emit_entry: Callable[[Tuple[int, ...], int, int], None],
+    boundary_labels: Sequence[Node],
+    s_label: Node,
+    e_label: Node,
+    ctx: ExecutionContext,
+    stage_name: str = "merge",
+) -> None:
+    """Join the clockwise and counter-clockwise path tables of a cycle.
+
+    Two entries combine iff they share exactly the endpoint vertices'
+    colors.  For every combination, ``emit_entry(boundary_images, sig,
+    count)`` is called with the images of ``boundary_labels`` (resolved
+    from the endpoints or either path's extras) in the given order.
+    """
+    ctx.begin_stage(stage_name)
+    # Resolution plan: for each boundary label, where does its image live?
+    plan: List[Tuple[str, int]] = []
+    for b in boundary_labels:
+        if b == s_label:
+            plan.append(("s", 0))
+        elif b == e_label:
+            plan.append(("e", 0))
+        elif b in tplus.record_labels:
+            plan.append(("+", tplus.record_labels.index(b)))
+        elif b in tminus.record_labels:
+            plan.append(("-", tminus.record_labels.index(b)))
+        else:  # pragma: no cover - defended by construction
+            raise AssertionError(f"boundary label {b!r} not locatable in merge")
+
+    index = tminus.by_endpoints()
+    for (u, v, extras1, sig1), cnt1 in tplus.items():
+        lst = index.get((u, v))
+        if not lst:
+            continue
+        ctx.op(v, len(lst))
+        need = (1 << int(colors[u])) | (1 << int(colors[v]))
+        for extras2, sig2, cnt2 in lst:
+            if sig1 & sig2 == need:
+                images = tuple(
+                    u if kind == "s" else v if kind == "e" else extras1[i] if kind == "+" else extras2[i]
+                    for kind, i in plan
+                )
+                emit_entry(images, sig1 | sig2, cnt1 * cnt2)

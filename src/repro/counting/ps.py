@@ -1,0 +1,34 @@
+"""PS — the Path Splitting baseline (paper Sections 4-5, Figure 4).
+
+A thin façade over :mod:`repro.counting.solver` with ``method="ps"``.
+PS is the paper's rephrasing of the original Alon et al. color-coding
+dynamic program: every cycle block is split once at its boundary nodes
+into two paths which are extended edge by edge with no degree pruning.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from .solver import solve_plan
+
+__all__ = ["count_colorful_ps"]
+
+
+def count_colorful_ps(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    plan: Optional[Plan] = None,
+    ctx: Optional[ExecutionContext] = None,
+) -> int:
+    """Colorful matches of ``query`` in ``g`` under ``colors`` via PS."""
+    plan = plan or heuristic_plan(query)
+    return solve_plan(plan, g, np.asarray(colors), ctx=ctx, method="ps")

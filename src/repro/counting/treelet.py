@@ -1,0 +1,101 @@
+"""Tree-query (treelet) dynamic program — the FASCIA-style special case.
+
+Slota & Madduri's FASCIA counts colorful matches of *tree* queries with
+the Alon et al. DP: root the tree, process bottom-up, and for each query
+node keep a table ``cnt(u, sig)`` = number of colorful matches of its
+subtree with the root mapped to ``u`` using color set ``sig``.  The paper
+uses this as its historical context (treewidth-1 color coding); we include
+it both as an independent baseline and as a cross-check for our PS/DB
+solvers on acyclic queries (where all three must agree).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from ..query.treewidth import is_tree
+from ..tables.signatures import full_signature
+
+__all__ = ["count_colorful_treelet"]
+
+Node = Hashable
+
+
+def _rooted_children(q: QueryGraph, root: Node) -> Dict[Node, List[Node]]:
+    """Children lists of the query tree rooted at ``root`` (DFS)."""
+    children: Dict[Node, List[Node]] = {v: [] for v in q.nodes()}
+    seen = {root}
+    stack = [root]
+    while stack:
+        u = stack.pop()
+        for v in sorted(q.adj[u], key=repr):
+            if v not in seen:
+                seen.add(v)
+                children[u].append(v)
+                stack.append(v)
+    return children
+
+
+def count_colorful_treelet(
+    g: Graph, query: QueryGraph, colors: Sequence[int]
+) -> int:
+    """Colorful matches of a *tree* query via the treelet DP.
+
+    Raises ``ValueError`` for non-tree queries (use PS/DB for those).
+    """
+    if not is_tree(query):
+        raise ValueError("treelet DP requires an acyclic connected query")
+    colors_arr = np.asarray(colors, dtype=np.int64)
+    if len(colors_arr) != g.n:
+        raise ValueError("coloring must cover every data vertex")
+    k = query.k
+    if k == 1:
+        return g.n
+
+    root = max(query.nodes(), key=query.degree)
+    children = _rooted_children(query, root)
+
+    # Post-order over the rooted tree.
+    order: List[Node] = []
+    stack: List[Tuple[Node, bool]] = [(root, False)]
+    while stack:
+        node, processed = stack.pop()
+        if processed:
+            order.append(node)
+        else:
+            stack.append((node, True))
+            for c in children[node]:
+                stack.append((c, False))
+
+    # tables[q_node][ (u, sig) ] = count of colorful matches of the subtree
+    tables: Dict[Node, Dict[Tuple[int, int], int]] = {}
+    for qnode in order:
+        # start with the single-vertex subtree
+        table: Dict[Tuple[int, int], int] = {
+            (u, 1 << int(colors_arr[u])): 1 for u in range(g.n)
+        }
+        for child in children[qnode]:
+            ctab = tables.pop(child)
+            # index child entries by vertex for edge lookups
+            by_vertex: Dict[int, List[Tuple[int, int]]] = {}
+            for (v, sig), cnt in ctab.items():
+                by_vertex.setdefault(v, []).append((sig, cnt))
+            new_table: Dict[Tuple[int, int], int] = {}
+            for (u, sig), cnt in table.items():
+                for v in g.neighbors(u):
+                    lst = by_vertex.get(int(v))
+                    if not lst:
+                        continue
+                    for sig_c, cnt_c in lst:
+                        if sig & sig_c == 0:  # disjoint color sets
+                            key = (u, sig | sig_c)
+                            new_table[key] = new_table.get(key, 0) + cnt * cnt_c
+            table = new_table
+        tables[qnode] = table
+
+    fs = full_signature(k)
+    return sum(cnt for (u, sig), cnt in tables[root].items() if sig == fs)

@@ -1,0 +1,35 @@
+"""Decomposition trees: blocks, contraction, enumeration, planning."""
+
+from .blocks import CYCLE, LEAF, SINGLETON, Block
+from .contraction import (
+    CandidateBlock,
+    ContractionState,
+    contract,
+    find_candidate_blocks,
+)
+from .enumeration import count_plans, enumerate_plans
+from .planner import choose_plan, heuristic_plan, rank_plans
+from .tree import DecompositionError, Plan, build_decomposition, default_chooser
+from .validate import PlanValidationError, validate_plan
+
+__all__ = [
+    "Block",
+    "CYCLE",
+    "LEAF",
+    "SINGLETON",
+    "CandidateBlock",
+    "ContractionState",
+    "contract",
+    "find_candidate_blocks",
+    "Plan",
+    "build_decomposition",
+    "default_chooser",
+    "DecompositionError",
+    "enumerate_plans",
+    "count_plans",
+    "choose_plan",
+    "rank_plans",
+    "heuristic_plan",
+    "validate_plan",
+    "PlanValidationError",
+]

@@ -1,0 +1,239 @@
+"""The contraction process that builds decomposition trees (Section 4.1).
+
+A :class:`ContractionState` is the "transformed query" of Figure 2: the
+current node/edge set of ``Q`` plus the block annotations produced by
+earlier contractions.  :func:`find_candidate_blocks` lists every block
+(leaf edge or contractible cycle) currently available, and
+:func:`contract` applies the paper's Cases 1-3.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from ..query.query import QueryGraph
+from .blocks import CYCLE, LEAF, SINGLETON, Block
+
+__all__ = [
+    "ContractionState",
+    "CandidateBlock",
+    "find_candidate_blocks",
+    "contract",
+]
+
+Node = Hashable
+EdgeKey = FrozenSet
+
+
+class ContractionState:
+    """Mutable transformed query with annotations."""
+
+    def __init__(self, query: QueryGraph) -> None:
+        if not query.is_connected():
+            raise ValueError("decomposition requires a connected query graph")
+        self.adj: Dict[Node, Set[Node]] = {v: set(ns) for v, ns in query.adj.items()}
+        self.node_ann: Dict[Node, Block] = {}
+        self.edge_ann: Dict[EdgeKey, Block] = {}
+
+    # ------------------------------------------------------------------
+    def copy(self) -> "ContractionState":
+        out = ContractionState.__new__(ContractionState)
+        out.adj = {v: set(ns) for v, ns in self.adj.items()}
+        out.node_ann = dict(self.node_ann)
+        out.edge_ann = dict(self.edge_ann)
+        return out
+
+    def num_nodes(self) -> int:
+        return len(self.adj)
+
+    def nodes(self) -> List[Node]:
+        return sorted(self.adj, key=repr)
+
+    def degree(self, v: Node) -> int:
+        return len(self.adj[v])
+
+    def canonical_key(self) -> tuple:
+        """Hashable snapshot (for memoised enumeration)."""
+        edges = tuple(
+            sorted(tuple(sorted((repr(a), repr(b)))) for a in self.adj for b in self.adj[a] if repr(a) < repr(b))
+        )
+        nann = tuple(sorted((repr(v), b.signature()) for v, b in self.node_ann.items()))
+        eann = tuple(
+            sorted((tuple(sorted(map(repr, k))), b.signature()) for k, b in self.edge_ann.items())
+        )
+        return (tuple(map(repr, self.nodes())), edges, nann, eann)
+
+
+class CandidateBlock:
+    """A block available for contraction, before annotations are absorbed."""
+
+    __slots__ = ("kind", "nodes", "boundary")
+
+    def __init__(self, kind: str, nodes: Tuple[Node, ...], boundary: Tuple[Node, ...]):
+        self.kind = kind
+        self.nodes = nodes
+        self.boundary = boundary
+
+    def key(self) -> tuple:
+        """Canonical identity: kind + node set + boundary (cycles are
+        rotation/reflection invariant; leaf edges are directional)."""
+        if self.kind == CYCLE:
+            return (CYCLE, frozenset(map(repr, self.nodes)), tuple(sorted(map(repr, self.boundary))))
+        return (LEAF, tuple(map(repr, self.nodes)))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CandidateBlock({self.kind}, {self.nodes}, boundary={self.boundary})"
+
+
+# ----------------------------------------------------------------------
+# block discovery
+# ----------------------------------------------------------------------
+
+def _enumerate_simple_cycles(state: ContractionState) -> List[Tuple[Node, ...]]:
+    """All simple cycles of the current query, each reported once.
+
+    Canonical form: the cycle starts at its smallest node (by repr) and the
+    second node is smaller than the last, removing rotation/direction
+    duplicates.  DFS is fine at query scale (≤ ~12 nodes).
+    """
+    nodes = state.nodes()
+    order = {v: i for i, v in enumerate(nodes)}
+    cycles: List[Tuple[Node, ...]] = []
+
+    def dfs(start: Node, current: Node, path: List[Node], visited: Set[Node]) -> None:
+        for nxt in sorted(state.adj[current], key=repr):
+            if nxt == start and len(path) >= 3:
+                # canonical direction: path[1] < path[-1]
+                if order[path[1]] < order[path[-1]]:
+                    cycles.append(tuple(path))
+            elif nxt not in visited and order[nxt] > order[start]:
+                visited.add(nxt)
+                path.append(nxt)
+                dfs(start, nxt, path, visited)
+                path.pop()
+                visited.remove(nxt)
+
+    for start in nodes:
+        dfs(start, start, [start], {start})
+    return cycles
+
+
+def _cycle_boundary(state: ContractionState, cycle: Tuple[Node, ...]) -> Optional[Tuple[Node, ...]]:
+    """Boundary nodes of an *induced* cycle, or None if not contractible.
+
+    Checks (a) inducedness — no chords among cycle nodes — and (b) at most
+    two boundary nodes (nodes with neighbours outside the cycle).
+    """
+    cset = set(cycle)
+    length = len(cycle)
+    boundary: List[Node] = []
+    for i, v in enumerate(cycle):
+        inside = state.adj[v] & cset
+        allowed = {cycle[(i - 1) % length], cycle[(i + 1) % length]}
+        if inside != allowed:
+            return None  # chord: not induced
+        if state.adj[v] - cset:
+            boundary.append(v)
+            if len(boundary) > 2:
+                return None
+    return tuple(sorted(boundary, key=repr))
+
+
+def find_candidate_blocks(state: ContractionState) -> List[CandidateBlock]:
+    """All currently-contractible blocks (leaf edges + contractible cycles)."""
+    out: List[CandidateBlock] = []
+    if state.num_nodes() <= 1:
+        return out
+    for b in state.nodes():
+        if state.degree(b) == 1:
+            (a,) = tuple(state.adj[b])
+            out.append(CandidateBlock(LEAF, (a, b), (a,)))
+    for cycle in _enumerate_simple_cycles(state):
+        boundary = _cycle_boundary(state, cycle)
+        if boundary is not None:
+            out.append(CandidateBlock(CYCLE, cycle, boundary))
+    return out
+
+
+# ----------------------------------------------------------------------
+# contraction (Cases 1-3 of Section 4.1)
+# ----------------------------------------------------------------------
+
+def _absorb_annotations(state: ContractionState, cand: CandidateBlock) -> Block:
+    """Build the Block, inheriting annotations from the state (and removing
+    them from the state so no other block can become their parent)."""
+    node_ann: Dict[Node, Block] = {}
+    for v in cand.nodes:
+        if v in state.node_ann:
+            node_ann[v] = state.node_ann.pop(v)
+    edge_ann: Dict[int, Block] = {}
+    if cand.kind == CYCLE:
+        length = len(cand.nodes)
+        for i in range(length):
+            key = frozenset((cand.nodes[i], cand.nodes[(i + 1) % length]))
+            if key in state.edge_ann:
+                edge_ann[i] = state.edge_ann.pop(key)
+    else:
+        key = frozenset(cand.nodes)
+        if key in state.edge_ann:
+            edge_ann[0] = state.edge_ann.pop(key)
+    return Block(cand.kind, cand.nodes, cand.boundary, node_ann, edge_ann)
+
+
+def contract(state: ContractionState, cand: CandidateBlock) -> Block:
+    """Apply the contraction of ``cand`` to ``state`` in place.
+
+    Returns the new :class:`Block` (already annotated onto the state per
+    Cases 1-3).  After the call the state holds the transformed query.
+    """
+    block = _absorb_annotations(state, cand)
+    cset = set(cand.nodes)
+    if cand.kind == LEAF:
+        a, b = cand.nodes
+        # Case 3: remove b and the edge; annotate a with the block.
+        state.adj[a].discard(b)
+        del state.adj[b]
+        state.node_ann[a] = block
+        return block
+
+    boundary = cand.boundary
+    if len(boundary) == 2:
+        # Case 2: remove the cycle except the boundary nodes; add an
+        # annotated edge between them.  Inducedness guarantees the edge is
+        # not already present outside the cycle.
+        a, b = boundary
+        for v in cand.nodes:
+            if v in (a, b):
+                continue
+            for u in state.adj[v]:
+                if u in state.adj:
+                    state.adj[u].discard(v)
+            del state.adj[v]
+        state.adj[a].discard(b)
+        state.adj[b].discard(a)
+        assert b not in state.adj[a], "chorded cycle slipped through contractibility"
+        state.adj[a].add(b)
+        state.adj[b].add(a)
+        state.edge_ann[frozenset((a, b))] = block
+        return block
+
+    if len(boundary) == 1:
+        # Case 1: remove the cycle except the boundary node; annotate it.
+        (a,) = boundary
+        for v in cand.nodes:
+            if v == a:
+                continue
+            for u in state.adj[v]:
+                if u in state.adj:
+                    state.adj[u].discard(v)
+            del state.adj[v]
+        # cycle edges incident to `a` vanish with their other endpoints
+        state.adj[a] -= cset
+        state.node_ann[a] = block
+        return block
+
+    # Zero boundary nodes: the cycle is the entire remaining query (the
+    # query is connected), so contraction empties Q — this block is a root.
+    assert cset == set(state.adj), "0-boundary cycle must cover the whole query"
+    state.adj.clear()
+    return block

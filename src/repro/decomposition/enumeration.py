@@ -1,0 +1,84 @@
+"""Exhaustive enumeration of decomposition trees (paper Section 6).
+
+"An input query may admit multiple decomposition trees and the choice of
+the tree influences the performance" — the planner heuristic and the
+Figure 14 experiment both need the full set of trees, which this module
+produces by branching the contraction process over every available block
+at every step and deduplicating structurally identical results.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..query.query import QueryGraph
+from ..query.treewidth import is_treewidth_at_most_2
+from .blocks import SINGLETON, Block
+from .contraction import ContractionState, contract, find_candidate_blocks
+from .tree import DecompositionError, Plan
+
+__all__ = ["enumerate_plans", "count_plans"]
+
+
+def enumerate_plans(query: QueryGraph, limit: int = 20000) -> List[Plan]:
+    """All structurally distinct decomposition trees of ``query``.
+
+    ``limit`` caps the number of (state, choice) expansions to keep
+    pathological inputs (e.g. large stars, whose leaf orderings explode
+    factorially) bounded; the paper's ≤ 10-node queries stay far below it.
+    """
+    if not query.is_connected():
+        raise DecompositionError("query must be connected")
+    if not is_treewidth_at_most_2(query):
+        raise DecompositionError("query treewidth exceeds 2")
+
+    plans: List[Plan] = []
+    seen_plans: Set[tuple] = set()
+    expansions = 0
+
+    def recurse(state: ContractionState) -> None:
+        nonlocal expansions
+        if state.num_nodes() == 0:
+            raise AssertionError("recursion should stop at the root block")
+        if state.num_nodes() == 1:
+            (node,) = state.nodes()
+            ann = {node: state.node_ann[node]} if node in state.node_ann else {}
+            root = Block(SINGLETON, (node,), (), ann, {})
+            plan = Plan(query, root)
+            sig = plan.signature()
+            if sig not in seen_plans:
+                seen_plans.add(sig)
+                plans.append(plan)
+            return
+        candidates = find_candidate_blocks(state)
+        if not candidates:
+            raise DecompositionError("contraction stuck mid-enumeration")
+        # dedupe candidates that denote the same block
+        unique = {}
+        for cand in candidates:
+            unique.setdefault(cand.key(), cand)
+        for cand in unique.values():
+            expansions += 1
+            if expansions > limit:
+                raise RuntimeError(
+                    f"plan enumeration exceeded {limit} expansions; "
+                    "raise the limit for this query"
+                )
+            branch = state.copy()
+            block = contract(branch, cand)
+            if branch.num_nodes() == 0:
+                plan = Plan(query, block)
+                sig = plan.signature()
+                if sig not in seen_plans:
+                    seen_plans.add(sig)
+                    plans.append(plan)
+            else:
+                recurse(branch)
+
+    recurse(ContractionState(query))
+    return plans
+
+
+def count_plans(query: QueryGraph, limit: int = 20000) -> int:
+    """Number of structurally distinct decomposition trees."""
+    return len(enumerate_plans(query, limit=limit))

@@ -1,0 +1,39 @@
+"""Plan selection heuristic (paper Section 6) — the "planner" layer.
+
+The paper: "the following factors, in the decreasing order of importance,
+determine the execution time: (i) length of the longest cycle block;
+(ii) number of boundary nodes; (iii) number of node/edge annotations.
+[...] Enumerate all possible trees for the given query and pick the best
+using the above factors for comparison."  All three are minimized, tie
+broken deterministically by structural signature.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..query.query import QueryGraph
+from .enumeration import enumerate_plans
+from .tree import Plan, build_decomposition
+
+__all__ = ["choose_plan", "rank_plans", "heuristic_plan"]
+
+
+def rank_plans(plans: List[Plan]) -> List[Plan]:
+    """Plans sorted best-first by the Section 6 lexicographic key."""
+    return sorted(plans, key=lambda p: (p.heuristic_key(), p.signature()))
+
+
+def choose_plan(query: QueryGraph, limit: int = 20000) -> Plan:
+    """The heuristic's pick: best plan over exhaustive enumeration."""
+    plans = enumerate_plans(query, limit=limit)
+    return rank_plans(plans)[0]
+
+
+def heuristic_plan(query: QueryGraph, limit: int = 20000) -> Plan:
+    """Alias used by the high-level API; falls back to the greedy chooser
+    when enumeration would blow past ``limit`` (huge tree-like queries)."""
+    try:
+        return choose_plan(query, limit=limit)
+    except RuntimeError:
+        return build_decomposition(query)

@@ -1,0 +1,159 @@
+"""Decomposition-tree construction (paper Section 4.1, Figure 2/3).
+
+:func:`build_decomposition` iterates the contraction process until the
+query is exhausted, delegating the choice among available blocks to a
+pluggable *chooser* (the planner supplies the Section 6 heuristic; the
+enumerator branches over all choices).  The result is a :class:`Plan`
+holding the root block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, List, Optional, Sequence
+
+from ..query.query import QueryGraph
+from ..query.treewidth import is_treewidth_at_most_2
+from .blocks import CYCLE, LEAF, SINGLETON, Block
+from .contraction import CandidateBlock, ContractionState, contract, find_candidate_blocks
+
+__all__ = ["Plan", "build_decomposition", "default_chooser", "DecompositionError"]
+
+Chooser = Callable[[ContractionState, Sequence[CandidateBlock]], CandidateBlock]
+
+
+class DecompositionError(ValueError):
+    """Raised when no block exists — query not treewidth ≤ 2 (Lemma 4.1)."""
+
+
+class Plan:
+    """A complete decomposition tree for a query."""
+
+    def __init__(self, query: QueryGraph, root: Block) -> None:
+        self.query = query
+        self.root = root
+
+    # ------------------------------------------------------------------
+    def blocks(self) -> List[Block]:
+        """All blocks, bottom-up (children before parents)."""
+        ordered: List[Block] = []
+
+        def visit(b: Block) -> None:
+            for child in b.children():
+                visit(child)
+            ordered.append(b)
+
+        visit(self.root)
+        return ordered
+
+    def cycle_blocks(self) -> List[Block]:
+        return [b for b in self.blocks() if b.kind == CYCLE]
+
+    def longest_cycle(self) -> int:
+        cycles = self.cycle_blocks()
+        return max((b.length for b in cycles), default=0)
+
+    def total_boundary_nodes(self) -> int:
+        return sum(len(b.boundary) for b in self.blocks())
+
+    def total_annotations(self) -> int:
+        return sum(len(b.node_ann) + len(b.edge_ann) for b in self.blocks())
+
+    def cycle_annotations(self) -> int:
+        """Annotations attached to cycle blocks specifically.
+
+        These are the expensive ones: a cycle block's annotations are
+        joined inside every path sweep (and, for DB, once per choice of
+        the highest node), whereas a leaf block's annotations are folded
+        in a single linear pass.
+        """
+        return sum(len(b.node_ann) + len(b.edge_ann) for b in self.cycle_blocks())
+
+    def heuristic_key(self) -> tuple:
+        """Section 6 ranking key, all components minimized.
+
+        The paper's factors in decreasing order of importance: (i) length
+        of the longest cycle block; (ii) number of boundary nodes;
+        (iii) number of node/edge annotations.  We interpret (iii) as the
+        annotations *the cycle procedures must join* and rank it above the
+        raw boundary count: plan measurements (see
+        ``benchmarks/bench_fig14_heuristic.py``) show cycle-block
+        annotations dominate cost — plans that contract cycles before
+        their nodes accumulate annotations are consistently fastest —
+        while totals over leaf chains are noise.
+        """
+        return (
+            self.longest_cycle(),
+            self.cycle_annotations(),
+            self.total_boundary_nodes(),
+            self.total_annotations(),
+        )
+
+    def signature(self) -> tuple:
+        return self.root.signature()
+
+    def describe(self) -> str:
+        return self.root.describe()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Plan(query={self.query.name or '?'}, blocks={len(self.blocks())}, "
+            f"longest_cycle={self.longest_cycle()})"
+        )
+
+
+def default_chooser(
+    state: ContractionState, candidates: Sequence[CandidateBlock]
+) -> CandidateBlock:
+    """Deterministic greedy choice: shortest cycles first, then leaf edges.
+
+    Contracting short cycles early tends to shorten the cycles seen later
+    (they become annotated edges); purely a sane default — the planner's
+    exhaustive heuristic supersedes this for benchmarks.
+    """
+
+    def key(c: CandidateBlock) -> tuple:
+        if c.kind == CYCLE:
+            return (0, len(c.nodes), len(c.boundary), tuple(map(repr, c.nodes)))
+        return (1, 0, 0, tuple(map(repr, c.nodes)))
+
+    return min(candidates, key=key)
+
+
+def build_decomposition(
+    query: QueryGraph, chooser: Optional[Chooser] = None
+) -> Plan:
+    """Run the contraction process to completion and return the plan.
+
+    Raises :class:`DecompositionError` if the query has treewidth > 2 (the
+    process gets stuck, per Lemma 4.1 this happens iff tw > 2) or is
+    disconnected.
+    """
+    if query.k == 0:
+        raise DecompositionError("empty query")
+    if not query.is_connected():
+        raise DecompositionError("query must be connected")
+    if not is_treewidth_at_most_2(query):
+        raise DecompositionError(
+            f"query {query.name or '?'} has treewidth > 2; the color-coding "
+            "decomposition of this paper only covers treewidth-2 queries"
+        )
+    chooser = chooser or default_chooser
+    state = ContractionState(query)
+    last_block: Optional[Block] = None
+    while state.num_nodes() > 1:
+        candidates = find_candidate_blocks(state)
+        if not candidates:
+            raise DecompositionError(
+                "contraction stuck — no leaf edge or contractible cycle "
+                "(query treewidth exceeds 2?)"
+            )
+        cand = chooser(state, candidates)
+        last_block = contract(state, cand)
+        if state.num_nodes() == 0:
+            # last contraction was a 0-boundary cycle: it is the root
+            return Plan(query, last_block)
+    # Q is a single node; wrap in a singleton root (absorbing its annotation).
+    (node,) = state.nodes()
+    ann = {node: state.node_ann[node]} if node in state.node_ann else {}
+    root = Block(SINGLETON, (node,), (), ann, {})
+    return Plan(query, root)

@@ -1,0 +1,156 @@
+"""Structural validation of decomposition trees.
+
+A :class:`~repro.decomposition.tree.Plan` produced by contraction must
+satisfy the invariants Section 4 relies on; this validator re-derives them
+from first principles so the enumeration and contraction code can be
+checked independently (and fuzzed against random treewidth-2 queries):
+
+1. **Coverage** — every query node appears in exactly one block's
+   ``nodes``; every query edge is realised exactly once (as a cycle/leaf
+   edge of some block that is *not* annotated by a child — annotated
+   edges are contraction artefacts, not query edges).
+2. **Boundary consistency** — a block's boundary nodes are exactly the
+   nodes of its subquery with edges to the rest of the query.
+3. **Block sanity** — cycles have ≥ 3 nodes and ≤ 2 boundary nodes; leaf
+   edges have 2 nodes and 1 boundary node; the root has no boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, List, Set, Tuple
+
+from ..query.query import QueryGraph
+from .blocks import CYCLE, LEAF, SINGLETON, Block
+from .tree import Plan
+
+__all__ = ["validate_plan", "PlanValidationError"]
+
+
+class PlanValidationError(AssertionError):
+    """A decomposition-tree invariant is violated."""
+
+
+def _fail(msg: str) -> None:
+    raise PlanValidationError(msg)
+
+
+def _realised_edges(block: Block) -> List[Tuple[Hashable, Hashable]]:
+    """Query edges this block realises directly (unannotated own edges)."""
+    out = []
+    if block.kind == CYCLE:
+        for i in range(len(block.nodes)):
+            if i not in block.edge_ann:
+                out.append(block.edge_endpoints(i))
+    elif block.kind == LEAF:
+        if 0 not in block.edge_ann:
+            out.append((block.nodes[0], block.nodes[1]))
+    return out
+
+
+def validate_plan(plan: Plan) -> None:
+    """Raise :class:`PlanValidationError` on any broken invariant."""
+    query = plan.query
+    blocks = plan.blocks()
+
+    # -- 3. per-block sanity -----------------------------------------
+    for b in blocks:
+        if b.kind == CYCLE:
+            if len(b.nodes) < 3:
+                _fail(f"cycle block with {len(b.nodes)} nodes")
+            if len(b.boundary) > 2:
+                _fail(f"cycle block with {len(b.boundary)} boundary nodes")
+            if len(set(b.nodes)) != len(b.nodes):
+                _fail("repeated node label on a cycle block")
+        elif b.kind == LEAF:
+            if len(b.nodes) != 2:
+                _fail("leaf block must have exactly two nodes")
+            if len(b.boundary) != 1:
+                _fail("leaf block must have one boundary node")
+            if b.boundary[0] != b.nodes[0]:
+                _fail("leaf boundary must be the non-leaf endpoint")
+        elif b.kind == SINGLETON:
+            if b is not plan.root:
+                _fail("singleton block below the root")
+        else:
+            _fail(f"unknown block kind {b.kind!r}")
+        for lab in b.node_ann:
+            if lab not in b.nodes:
+                _fail(f"node annotation on foreign label {lab!r}")
+        child_boundaries = set()
+        for lab, child in b.node_ann.items():
+            if tuple(child.boundary) != (lab,):
+                _fail(
+                    f"node-annotating child boundary {child.boundary!r} "
+                    f"does not match node {lab!r}"
+                )
+        for i, child in b.edge_ann.items():
+            endpoints = set(b.edge_endpoints(i))
+            if set(child.boundary) != endpoints:
+                _fail(
+                    f"edge-annotating child boundary {child.boundary!r} "
+                    f"does not match edge endpoints {endpoints!r}"
+                )
+
+    if plan.root.boundary:
+        _fail("root block must have no boundary nodes")
+
+    # -- 1. coverage ----------------------------------------------------
+    # node coverage: blocks partition the query nodes, except that a
+    # block's boundary nodes are shared with (owned by) its parent.
+    seen_nodes: Set[Hashable] = set()
+    for b in blocks:
+        owned = set(b.nodes)
+        for child in b.children():
+            owned -= set(child.boundary) - set()  # boundary already counted below
+        # count nodes owned by b = its nodes minus those shared upward
+    # simpler equivalent check: union of all block nodes == query nodes,
+    # and each non-boundary node appears in exactly one block.
+    appearance: dict = {}
+    for b in blocks:
+        for nlab in b.nodes:
+            appearance.setdefault(nlab, []).append(b)
+    if set(appearance) != set(query.nodes()):
+        _fail("block nodes do not cover the query nodes exactly")
+    for nlab, owners in appearance.items():
+        # a node may appear in several blocks only as a boundary chain
+        non_boundary_owners = [b for b in owners if nlab not in b.boundary]
+        if len(non_boundary_owners) > 1:
+            _fail(f"query node {nlab!r} owned by multiple blocks")
+
+    # edge coverage: each query edge realised exactly once
+    realised: List[Tuple[Hashable, Hashable]] = []
+    for b in blocks:
+        realised.extend(_realised_edges(b))
+    realised_sets = [frozenset(e) for e in realised]
+    query_edges = [frozenset(e) for e in query.edges()]
+    if sorted(map(sorted, (tuple(map(repr, e)) for e in realised_sets))) != sorted(
+        map(sorted, (tuple(map(repr, e)) for e in query_edges))
+    ):
+        extra = set(realised_sets) - set(query_edges)
+        missing = set(query_edges) - set(realised_sets)
+        _fail(f"edge coverage broken: extra={extra!r} missing={missing!r}")
+    if len(realised_sets) != len(set(realised_sets)):
+        _fail("a query edge is realised twice")
+
+    # -- 2. boundary consistency -----------------------------------------
+    for b in blocks:
+        if b.kind == SINGLETON:
+            continue
+        sub = b.subquery_nodes()
+        outside = set(query.nodes()) - sub
+        true_boundary = {
+            v for v in sub if any(u in outside for u in query.adj[v])
+        }
+        declared = set(b.boundary)
+        if not outside:
+            # The block whose subquery is the whole query (it hangs off a
+            # singleton root): its declared boundary is the residual node
+            # of the contraction, which has no actual outside neighbours.
+            if not declared <= set(b.nodes):
+                _fail(f"root-covering block boundary {declared!r} not on the block")
+            continue
+        if true_boundary != declared:
+            _fail(
+                f"boundary mismatch on {b}: declared {declared!r}, "
+                f"actual {true_boundary!r}"
+            )

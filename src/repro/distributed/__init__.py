@@ -1,0 +1,43 @@
+"""Simulated distributed engine: partitions, runtime accounting, metrics."""
+
+from .engine import DEFAULT_KAPPA, DistributedRun, run_distributed
+from .metrics import (
+    MethodComparison,
+    ScalingCurve,
+    compare_methods,
+    improvement_factor,
+    strong_scaling,
+)
+from .partition import (
+    Partition,
+    block_partition,
+    cyclic_partition,
+    hash_partition,
+    make_partition,
+)
+from .runtime import ExecutionContext, LoadStats, StageRecord, sequential_context
+from .trace import format_trace, hotspots, rank_profile, stage_report
+
+__all__ = [
+    "Partition",
+    "block_partition",
+    "cyclic_partition",
+    "hash_partition",
+    "make_partition",
+    "ExecutionContext",
+    "LoadStats",
+    "StageRecord",
+    "sequential_context",
+    "DistributedRun",
+    "run_distributed",
+    "DEFAULT_KAPPA",
+    "MethodComparison",
+    "ScalingCurve",
+    "compare_methods",
+    "improvement_factor",
+    "strong_scaling",
+    "stage_report",
+    "rank_profile",
+    "hotspots",
+    "format_trace",
+]

@@ -1,0 +1,110 @@
+"""Scaling metrics derived from simulated runs (Figures 10-13)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from .engine import DEFAULT_KAPPA, DistributedRun, run_distributed
+
+__all__ = [
+    "improvement_factor",
+    "strong_scaling",
+    "ScalingCurve",
+    "compare_methods",
+    "MethodComparison",
+]
+
+
+@dataclass
+class MethodComparison:
+    """PS vs DB on one graph-query pair at one rank count (Figure 10/11)."""
+
+    graph_name: str
+    query_name: str
+    nranks: int
+    ps: DistributedRun
+    db: DistributedRun
+
+    @property
+    def improvement_factor(self) -> float:
+        """IF = modeled time of PS over modeled time of DB (>1 = DB wins)."""
+        db_t = self.db.makespan
+        return self.ps.makespan / db_t if db_t > 0 else float("inf")
+
+    @property
+    def load_reduction(self) -> float:
+        """Max-load ratio PS/DB (Figure 11)."""
+        db_l = self.db.max_load
+        return self.ps.max_load / db_l if db_l > 0 else float("inf")
+
+
+def compare_methods(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    nranks: int,
+    ps_plan: Optional[Plan] = None,
+    db_plan: Optional[Plan] = None,
+    kappa: float = DEFAULT_KAPPA,
+) -> MethodComparison:
+    """Run PS and DB on identical input and package the comparison."""
+    ps_plan = ps_plan or heuristic_plan(query)
+    db_plan = db_plan or ps_plan
+    ps = run_distributed(g, query, colors, nranks, method="ps", plan=ps_plan, kappa=kappa)
+    db = run_distributed(g, query, colors, nranks, method="db", plan=db_plan, kappa=kappa)
+    if ps.count != db.count:  # pragma: no cover - correctness tripwire
+        raise AssertionError(
+            f"PS and DB disagree on {g.name}/{query.name}: {ps.count} != {db.count}"
+        )
+    return MethodComparison(g.name, query.name, nranks, ps, db)
+
+
+def improvement_factor(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    nranks: int,
+    **kwargs,
+) -> float:
+    """Figure 10 cell: IF = T(PS)/T(DB) at the given rank count."""
+    return compare_methods(g, query, colors, nranks, **kwargs).improvement_factor
+
+
+@dataclass
+class ScalingCurve:
+    """Strong-scaling curve for one graph-query pair (Figure 13)."""
+
+    graph_name: str
+    query_name: str
+    method: str
+    ranks: List[int]
+    makespans: List[float]
+
+    def speedups(self, base_rank_index: int = 0) -> List[float]:
+        base = self.makespans[base_rank_index]
+        return [base / t if t > 0 else float("inf") for t in self.makespans]
+
+
+def strong_scaling(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    ranks: Sequence[int],
+    method: str = "db",
+    plan: Optional[Plan] = None,
+    kappa: float = DEFAULT_KAPPA,
+) -> ScalingCurve:
+    """Makespans across rank counts on fixed input (Figure 13 strong)."""
+    plan = plan or heuristic_plan(query)
+    makespans = []
+    for r in ranks:
+        run = run_distributed(g, query, colors, r, method=method, plan=plan, kappa=kappa)
+        makespans.append(run.makespan)
+    return ScalingCurve(g.name, query.name, method, list(ranks), makespans)

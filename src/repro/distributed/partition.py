@@ -1,0 +1,73 @@
+"""Vertex partitioning strategies (paper Section 7, "engine" layer).
+
+The paper distributes the data graph via a 1-D decomposition: "the
+vertices are equally distributed among the processors using block
+distribution, and each vertex is owned by some processor."  Block is the
+default; cyclic and hashed variants are provided for the partitioning
+ablation bench.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+__all__ = ["Partition", "block_partition", "cyclic_partition", "hash_partition", "make_partition"]
+
+
+class Partition:
+    """Owner map from vertices to ranks."""
+
+    __slots__ = ("nranks", "owners")
+
+    def __init__(self, nranks: int, owners: np.ndarray) -> None:
+        if nranks < 1:
+            raise ValueError("need at least one rank")
+        if owners.size and (owners.min() < 0 or owners.max() >= nranks):
+            raise ValueError("owner ids out of range")
+        self.nranks = nranks
+        self.owners = owners.astype(np.int64)
+
+    def owner(self, v: int) -> int:
+        return int(self.owners[v])
+
+    def rank_sizes(self) -> np.ndarray:
+        return np.bincount(self.owners, minlength=self.nranks)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Partition(nranks={self.nranks}, n={len(self.owners)})"
+
+
+def block_partition(n: int, nranks: int) -> Partition:
+    """Contiguous equal blocks of vertex ids (the paper's choice)."""
+    owners = np.minimum((np.arange(n) * nranks) // max(n, 1), nranks - 1)
+    return Partition(nranks, owners)
+
+
+def cyclic_partition(n: int, nranks: int) -> Partition:
+    """Round-robin assignment (ablation)."""
+    return Partition(nranks, np.arange(n) % nranks)
+
+
+def hash_partition(n: int, nranks: int, seed: int = 0x9E3779B9) -> Partition:
+    """Deterministic pseudo-random assignment (ablation)."""
+    v = np.arange(n, dtype=np.uint64)
+    h = (v * np.uint64(seed)) ^ (v >> np.uint64(16))
+    return Partition(nranks, (h % np.uint64(nranks)).astype(np.int64))
+
+
+_STRATEGIES: dict = {
+    "block": block_partition,
+    "cyclic": cyclic_partition,
+    "hash": hash_partition,
+}
+
+
+def make_partition(n: int, nranks: int, strategy: str = "block") -> Partition:
+    """Partition factory: ``block`` (paper default), ``cyclic`` or ``hash``."""
+    try:
+        fn: Callable = _STRATEGIES[strategy]
+    except KeyError:
+        raise ValueError(f"unknown partition strategy {strategy!r}") from None
+    return fn(n, nranks)

@@ -1,0 +1,183 @@
+"""Simulated BSP cluster: rank-attributed operation and message accounting.
+
+The paper runs on Blue Gene/Q with MPI ranks; its scaling results are
+driven by how projection-table operations distribute over the ranks that
+own the table entries (Section 7's ownership rule: entry ``(u, v, α)``
+lives at the owner of ``v``).  This module executes the *real* algorithm
+once while attributing every operation to the rank that would perform it
+and every cross-owner hand-off to a message, organised in supersteps
+(one per join stage).  Modeled makespan::
+
+    T(R) = Σ_stages  max_r ( ops_r + κ · msgs_r )
+
+with κ the cost of shipping one table entry relative to one local table
+operation.  Speedups and load statistics (Figures 11-13) are derived from
+these counters.  See DESIGN.md §2 for why this substitution preserves the
+paper's observed behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from ..graph.graph import Graph
+from .partition import Partition, make_partition
+
+__all__ = ["StageRecord", "LoadStats", "ExecutionContext", "sequential_context"]
+
+
+class StageRecord:
+    """Per-rank operation/message counts for one superstep."""
+
+    __slots__ = ("name", "ops", "msgs")
+
+    def __init__(self, name: str, nranks: int) -> None:
+        self.name = name
+        self.ops = np.zeros(nranks, dtype=np.float64)
+        self.msgs = np.zeros(nranks, dtype=np.float64)
+
+    def makespan(self, kappa: float) -> float:
+        return float(np.max(self.ops + kappa * self.msgs))
+
+    def total_ops(self) -> float:
+        return float(self.ops.sum())
+
+    def total_msgs(self) -> float:
+        return float(self.msgs.sum())
+
+
+class LoadStats:
+    """Accumulated superstep records for one counting run."""
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.stages: List[StageRecord] = []
+        self._by_name: dict = {}
+
+    # ------------------------------------------------------------------
+    def new_stage(self, name: str) -> StageRecord:
+        """Get-or-create the superstep record for ``name``.
+
+        Stages are keyed by name so that independent work scheduled in the
+        same logical join step (e.g. the DB algorithm's per-``h`` path
+        sweeps, which a real MPI implementation overlaps) accumulates into
+        one superstep instead of artificially serialising.
+        """
+        rec = self._by_name.get(name)
+        if rec is None:
+            rec = StageRecord(name, self.nranks)
+            self.stages.append(rec)
+            self._by_name[name] = rec
+        return rec
+
+    # -- aggregates -----------------------------------------------------
+    def total_ops(self) -> float:
+        return float(sum(s.total_ops() for s in self.stages))
+
+    def total_msgs(self) -> float:
+        return float(sum(s.total_msgs() for s in self.stages))
+
+    def per_rank_ops(self) -> np.ndarray:
+        out = np.zeros(self.nranks)
+        for s in self.stages:
+            out += s.ops
+        return out
+
+    def max_load(self) -> float:
+        """Maximum per-rank operation count (paper Figure 11 'Max Load')."""
+        return float(self.per_rank_ops().max()) if self.stages else 0.0
+
+    def avg_load(self) -> float:
+        """Average per-rank operation count (Figure 11 'Avg Load')."""
+        return float(self.per_rank_ops().mean()) if self.stages else 0.0
+
+    def makespan(self, kappa: float = 0.5) -> float:
+        """Modeled parallel time (sum of per-stage critical paths)."""
+        return float(sum(s.makespan(kappa) for s in self.stages))
+
+    def serial_time(self) -> float:
+        """Modeled 1-rank time: every operation is local, no messages."""
+        return self.total_ops()
+
+    def speedup(self, kappa: float = 0.5) -> float:
+        ms = self.makespan(kappa)
+        return self.serial_time() / ms if ms > 0 else 1.0
+
+    def imbalance(self) -> float:
+        """max/avg per-rank load; 1.0 is perfectly balanced."""
+        avg = self.avg_load()
+        return self.max_load() / avg if avg > 0 else 1.0
+
+    def coarsen(self, factor: int) -> "LoadStats":
+        """Merge groups of ``factor`` adjacent ranks into one.
+
+        For block partitions, the ``R``-rank block partition refines the
+        ``R/factor``-rank one, so coarsening a fine-grained run reproduces
+        the coarse run's statistics exactly (up to block-boundary rounding)
+        — one tracked execution yields the whole strong-scaling curve.
+        Messages between merged ranks become local and are dropped, which
+        matches what fewer ranks would observe.
+        """
+        if factor < 1 or self.nranks % factor:
+            raise ValueError(f"factor {factor} must divide nranks {self.nranks}")
+        out = LoadStats(self.nranks // factor)
+        for s in self.stages:
+            rec = out.new_stage(s.name)
+            rec.ops += s.ops.reshape(-1, factor).sum(axis=1)
+            # conservative: keep all messages (some became rank-local)
+            rec.msgs += s.msgs.reshape(-1, factor).sum(axis=1)
+        return out
+
+
+class ExecutionContext:
+    """Threads partition + accounting through the counting kernels.
+
+    A 1-rank context (``sequential_context``) is near-free: the kernels
+    call :meth:`op` and :meth:`emit` with pre-aggregated counts (one call
+    per table entry, not per candidate), so accounting overhead is a small
+    constant factor regardless of rank count.
+    """
+
+    __slots__ = ("partition", "stats", "_stage", "track")
+
+    def __init__(self, partition: Partition, track: bool = True) -> None:
+        self.partition = partition
+        self.stats = LoadStats(partition.nranks)
+        self._stage: Optional[StageRecord] = None
+        self.track = track
+
+    # ------------------------------------------------------------------
+    @property
+    def nranks(self) -> int:
+        return self.partition.nranks
+
+    def begin_stage(self, name: str) -> None:
+        if self.track:
+            self._stage = self.stats.new_stage(name)
+
+    def op(self, key_vertex: int, count: float = 1.0) -> None:
+        """``count`` table operations at the owner of ``key_vertex``."""
+        if self.track and self._stage is not None:
+            self._stage.ops[self.partition.owners[key_vertex]] += count
+
+    def emit(self, from_vertex: int, to_vertex: int, count: float = 1.0) -> None:
+        """``count`` produced entries handed from owner(from) to owner(to).
+
+        Counted as messages only when the owners differ (paper: "this
+        entry is communicated to the owner of w, where it gets stored").
+        """
+        if self.track and self._stage is not None:
+            src = self.partition.owners[from_vertex]
+            dst = self.partition.owners[to_vertex]
+            if src != dst:
+                self._stage.msgs[src] += count
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ExecutionContext(nranks={self.nranks}, stages={len(self.stats.stages)})"
+
+
+def sequential_context(g: Graph, track: bool = False) -> ExecutionContext:
+    """1-rank context; with ``track=False`` accounting is skipped entirely."""
+    return ExecutionContext(make_partition(g.n, 1), track=track)

@@ -1,0 +1,86 @@
+"""Superstep trace inspection for simulated runs.
+
+Turns the per-stage, per-rank counters of a :class:`LoadStats` into
+human-readable reports: stage timelines, per-rank load profiles and
+imbalance hot spots.  Used by the load-balance benches and handy when
+debugging why a plan is slow (which join step concentrates on which
+rank's hub vertices).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from .runtime import LoadStats
+
+__all__ = ["stage_report", "rank_profile", "hotspots", "format_trace"]
+
+
+@dataclass
+class StageSummary:
+    name: str
+    total_ops: float
+    max_ops: float
+    imbalance: float
+    msgs: float
+
+    def as_row(self) -> Dict[str, object]:
+        return {
+            "stage": self.name,
+            "ops": self.total_ops,
+            "max_rank_ops": self.max_ops,
+            "imbalance": self.imbalance,
+            "msgs": self.msgs,
+        }
+
+
+def stage_report(stats: LoadStats) -> List[StageSummary]:
+    """Per-superstep totals, sorted by contribution to the makespan."""
+    out = []
+    for s in stats.stages:
+        total = s.total_ops()
+        mx = float(s.ops.max()) if len(s.ops) else 0.0
+        avg = total / stats.nranks if stats.nranks else 0.0
+        out.append(
+            StageSummary(
+                name=s.name,
+                total_ops=total,
+                max_ops=mx,
+                imbalance=mx / avg if avg > 0 else 1.0,
+                msgs=s.total_msgs(),
+            )
+        )
+    out.sort(key=lambda x: -x.max_ops)
+    return out
+
+
+def rank_profile(stats: LoadStats) -> np.ndarray:
+    """Total operations per rank across all stages."""
+    return stats.per_rank_ops()
+
+
+def hotspots(stats: LoadStats, top: int = 3) -> List[Dict[str, object]]:
+    """The ``top`` stages dominating the modeled makespan."""
+    report = stage_report(stats)[:top]
+    return [s.as_row() for s in report]
+
+
+def format_trace(stats: LoadStats, top: int = 10) -> str:
+    """ASCII rendering of the trace (stage table + rank load bar chart)."""
+    lines = [f"supersteps: {len(stats.stages)}, ranks: {stats.nranks}"]
+    lines.append(f"{'stage':24s} {'ops':>12s} {'max/rank':>12s} {'imb':>6s} {'msgs':>10s}")
+    for s in stage_report(stats)[:top]:
+        lines.append(
+            f"{s.name[:24]:24s} {s.total_ops:12.0f} {s.max_ops:12.0f} "
+            f"{s.imbalance:6.2f} {s.msgs:10.0f}"
+        )
+    profile = rank_profile(stats)
+    peak = profile.max() if len(profile) and profile.max() > 0 else 1.0
+    lines.append("per-rank load:")
+    for r, ops in enumerate(profile):
+        bar = "#" * int(round(40 * ops / peak))
+        lines.append(f"  rank {r:3d} {ops:12.0f} {bar}")
+    return "\n".join(lines)

@@ -1,0 +1,56 @@
+"""Data-graph substrate: CSR graphs, generators, degree-sequence tools."""
+
+from .degree import (
+    is_lambda_balanced,
+    lambda_balance,
+    moment,
+    power_law_exponent_fit,
+    truncated_power_law_sequence,
+)
+from .generators import (
+    chung_lu,
+    chung_lu_power_law,
+    erdos_renyi,
+    grid_road_network,
+    random_tree,
+    ring_of_cliques,
+    rmat,
+)
+from .graph import Graph
+from .io import read_edge_list, write_edge_list
+from .sampling import bfs_ball, induced_subgraph, random_induced_sample
+from .properties import (
+    connected_components,
+    graph_summary,
+    is_connected,
+    largest_component_subgraph,
+    num_connected_components,
+    triangle_count,
+)
+
+__all__ = [
+    "Graph",
+    "chung_lu",
+    "chung_lu_power_law",
+    "erdos_renyi",
+    "rmat",
+    "grid_road_network",
+    "random_tree",
+    "ring_of_cliques",
+    "truncated_power_law_sequence",
+    "lambda_balance",
+    "is_lambda_balanced",
+    "moment",
+    "power_law_exponent_fit",
+    "read_edge_list",
+    "write_edge_list",
+    "connected_components",
+    "num_connected_components",
+    "is_connected",
+    "largest_component_subgraph",
+    "graph_summary",
+    "triangle_count",
+    "induced_subgraph",
+    "bfs_ball",
+    "random_induced_sample",
+]

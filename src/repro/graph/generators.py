@@ -1,0 +1,206 @@
+"""Random-graph generators used throughout the evaluation.
+
+The paper's experiments use (i) real SNAP graphs — which we substitute with
+Chung-Lu power-law stand-ins (see DESIGN.md §2), (ii) R-MAT graphs for weak
+scaling (Section 8.4) with the Graph500 parameters, and (iii) the Chung-Lu
+model for the theoretical analysis (Section 9.2).  A perturbed-grid
+generator models the road network (low skew), and Erdős–Rényi is provided
+for tests.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .degree import truncated_power_law_sequence
+from .graph import Graph
+
+__all__ = [
+    "chung_lu",
+    "chung_lu_power_law",
+    "erdos_renyi",
+    "rmat",
+    "grid_road_network",
+    "random_tree",
+    "ring_of_cliques",
+]
+
+
+def _dedupe(n: int, pairs: np.ndarray) -> list:
+    """Canonicalize (u<v), drop self loops and duplicates."""
+    seen = set()
+    out = []
+    for u, v in pairs:
+        u = int(u)
+        v = int(v)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(key)
+    return out
+
+
+def chung_lu(
+    degrees: Sequence[float],
+    rng: np.random.Generator,
+    name: str = "chung-lu",
+) -> Graph:
+    """Sample a Chung-Lu graph for the given expected degree sequence.
+
+    Each edge ``(u, v)``, ``u < v``, is present independently with
+    probability ``min(1, d_u d_v / (2m))`` where ``2m = sum_u d_u``
+    (paper Section 9.2).  Implemented with vectorized numpy sampling over
+    the upper-triangular probability matrix in row blocks, so graphs with a
+    few thousand vertices sample in milliseconds without materialising an
+    ``n x n`` matrix.
+    """
+    d = np.asarray(degrees, dtype=np.float64)
+    n = len(d)
+    two_m = d.sum()
+    if two_m <= 0:
+        return Graph(n, [], name=name)
+    edges = []
+    # Row-block sampling keeps peak memory at O(block * n).
+    block = max(1, int(4_000_000 // max(n, 1)))
+    for start in range(0, n, block):
+        stop = min(n, start + block)
+        rows = d[start:stop, None] * d[None, :] / two_m
+        np.clip(rows, 0.0, 1.0, out=rows)
+        sample = rng.random(rows.shape) < rows
+        # keep strictly upper-triangular part (u < v) of the full matrix
+        us, vs = np.nonzero(sample)
+        us = us + start
+        keep = us < vs
+        edges.append(np.column_stack((us[keep], vs[keep])))
+    all_edges = np.concatenate(edges) if edges else np.empty((0, 2), dtype=np.int64)
+    return Graph(n, _dedupe(n, all_edges), name=name)
+
+
+def chung_lu_power_law(
+    n: int,
+    alpha: float,
+    rng: np.random.Generator,
+    name: str = "",
+    avg_degree_target: Optional[float] = None,
+) -> Graph:
+    """Chung-Lu graph with a truncated power-law expected degree sequence.
+
+    ``alpha`` in ``(1, 2)`` controls skew: values near 1 give heavy-tailed
+    graphs (epinions/enron-like), values near 2 give mild tails.  If
+    ``avg_degree_target`` is given, the sequence is rescaled (degrees
+    capped to ``sqrt(n)`` to stay inside the Chung-Lu regime).
+    """
+    seq = truncated_power_law_sequence(n, alpha, rng=rng)
+    if avg_degree_target is not None:
+        scale = avg_degree_target * n / seq.sum()
+        seq = np.maximum(1.0, seq * scale)
+        seq = np.minimum(seq, math.isqrt(n))
+    return chung_lu(seq, rng, name=name or f"chung-lu(a={alpha})")
+
+
+def erdos_renyi(n: int, p: float, rng: np.random.Generator, name: str = "er") -> Graph:
+    """G(n, p) random graph (test workloads)."""
+    if not (0.0 <= p <= 1.0):
+        raise ValueError("p must be in [0, 1]")
+    iu, ju = np.triu_indices(n, k=1)
+    mask = rng.random(len(iu)) < p
+    pairs = np.column_stack((iu[mask], ju[mask]))
+    return Graph(n, [(int(u), int(v)) for u, v in pairs], name=name)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int,
+    rng: np.random.Generator,
+    a: float = 0.5,
+    b: float = 0.1,
+    c: float = 0.1,
+    d: float = 0.3,
+    name: str = "rmat",
+) -> Graph:
+    """R-MAT recursive matrix generator (Chakrabarti et al., SDM 2004).
+
+    Defaults are the Graph 500 parameters the paper quotes for its weak
+    scaling study (A=0.5, B=0.1, C=0.1, D=0.3, edge factor 16).  Self loops
+    and duplicate edges are discarded, matching common practice, so the
+    realised edge count is slightly below ``edge_factor * 2^scale``.
+    """
+    if abs(a + b + c + d - 1.0) > 1e-9:
+        raise ValueError("R-MAT probabilities must sum to 1")
+    n = 1 << scale
+    m_target = edge_factor * n
+    # Vectorized: at each of `scale` levels every edge picks a quadrant.
+    us = np.zeros(m_target, dtype=np.int64)
+    vs = np.zeros(m_target, dtype=np.int64)
+    thresholds = np.array([a, a + b, a + b + c])
+    for level in range(scale):
+        r = rng.random(m_target)
+        quad = np.searchsorted(thresholds, r, side="right")
+        bit = 1 << (scale - level - 1)
+        us += np.where((quad == 2) | (quad == 3), bit, 0)
+        vs += np.where((quad == 1) | (quad == 3), bit, 0)
+    pairs = np.column_stack((us, vs))
+    return Graph(n, _dedupe(n, pairs), name=name)
+
+
+def grid_road_network(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    rewire_prob: float = 0.02,
+    name: str = "road",
+) -> Graph:
+    """Planar-ish low-skew graph modelling roadNetCA (Table 1).
+
+    A ``rows x cols`` grid with a small fraction of random long-range
+    rewires (freeways).  Maximum degree stays tiny, matching the road
+    network's max degree of 14 versus avg 1.3 in the paper.
+    """
+    n = rows * cols
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    edges = set()
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.add((vid(r, c), vid(r, c + 1)))
+            if r + 1 < rows:
+                edges.add((vid(r, c), vid(r + 1, c)))
+    extra = int(rewire_prob * len(edges))
+    for _ in range(extra):
+        u = int(rng.integers(n))
+        v = int(rng.integers(n))
+        if u != v:
+            edges.add((min(u, v), max(u, v)))
+    return Graph(n, sorted(edges), name=name)
+
+
+def random_tree(n: int, rng: np.random.Generator, name: str = "tree") -> Graph:
+    """Uniform random recursive tree on ``n`` vertices (test workloads)."""
+    edges = [(int(rng.integers(i)), i) for i in range(1, n)]
+    return Graph(n, edges, name=name)
+
+
+def ring_of_cliques(
+    num_cliques: int, clique_size: int, name: str = "ring-of-cliques"
+) -> Graph:
+    """Deterministic structured graph with many short cycles (test workloads)."""
+    n = num_cliques * clique_size
+    edges = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        nxt = ((c + 1) % num_cliques) * clique_size
+        if num_cliques > 1 and (base, nxt) not in edges and (nxt, base) not in edges:
+            edges.append((base, nxt) if base < nxt else (nxt, base))
+    return Graph(n, sorted(set(edges)), name=name)

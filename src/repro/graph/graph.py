@@ -1,0 +1,186 @@
+"""Compressed-sparse-row data graph.
+
+The data graph is the large input graph ``G`` of the subgraph counting
+problem.  It is undirected and simple.  We store it in CSR form backed by
+numpy arrays so that neighbourhood iteration inside the join kernels is a
+contiguous slice (cache friendly, vectorizable) rather than a Python-level
+adjacency-list walk.
+
+Vertices are integers ``0..n-1``.  The *degree ordering* of the paper
+(Section 5.1, "Degree Based Algorithm") is exposed through
+:meth:`Graph.degree_order_rank`: vertex ``u`` is *higher* than ``v``
+(written ``u ≻ v``) iff ``rank[u] > rank[v]`` where vertices are sorted by
+``(degree, vertex id)`` ascending.  Ties are broken by vertex id, which
+matches the paper's "arbitrary tie breaking, say by placing the vertex
+having the least id first".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Graph"]
+
+
+class Graph:
+    """An undirected simple graph in CSR form.
+
+    Parameters
+    ----------
+    n:
+        Number of vertices.
+    edges:
+        Iterable of ``(u, v)`` pairs with ``0 <= u, v < n``.  Self loops
+        and duplicate edges are rejected (the paper's data graphs are
+        simple).
+    """
+
+    __slots__ = ("n", "m", "indptr", "indices", "degrees", "_order_rank", "name")
+
+    def __init__(self, n: int, edges: Iterable[Tuple[int, int]], name: str = "") -> None:
+        if n < 0:
+            raise ValueError("vertex count must be non-negative")
+        edge_list = self._validate_edges(n, edges)
+        self.n = int(n)
+        self.m = len(edge_list)
+        self.name = name
+        self.indptr, self.indices = self._build_csr(n, edge_list)
+        self.degrees = np.diff(self.indptr).astype(np.int64)
+        self._order_rank: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _validate_edges(n: int, edges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
+        seen = set()
+        out: List[Tuple[int, int]] = []
+        for u, v in edges:
+            u = int(u)
+            v = int(v)
+            if u == v:
+                raise ValueError(f"self loop on vertex {u} is not allowed")
+            if not (0 <= u < n and 0 <= v < n):
+                raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+            key = (u, v) if u < v else (v, u)
+            if key in seen:
+                raise ValueError(f"duplicate edge ({u},{v})")
+            seen.add(key)
+            out.append(key)
+        return out
+
+    @staticmethod
+    def _build_csr(n: int, edges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
+        deg = np.zeros(n, dtype=np.int64)
+        for u, v in edges:
+            deg[u] += 1
+            deg[v] += 1
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        indices = np.zeros(max(indptr[-1], 1), dtype=np.int64)[: indptr[-1]]
+        cursor = indptr[:-1].copy()
+        for u, v in edges:
+            indices[cursor[u]] = v
+            cursor[u] += 1
+            indices[cursor[v]] = u
+            cursor[v] += 1
+        # Sort each adjacency slice for deterministic iteration and to allow
+        # binary-search membership tests.
+        for u in range(n):
+            lo, hi = indptr[u], indptr[u + 1]
+            indices[lo:hi] = np.sort(indices[lo:hi])
+        return indptr, indices
+
+    @classmethod
+    def from_edge_array(cls, n: int, edge_array: np.ndarray, name: str = "") -> "Graph":
+        """Build from an ``(m, 2)`` integer array (convenience for generators)."""
+        return cls(n, [(int(u), int(v)) for u, v in edge_array], name=name)
+
+    # ------------------------------------------------------------------
+    # basic queries
+    # ------------------------------------------------------------------
+    def neighbors(self, u: int) -> np.ndarray:
+        """Sorted neighbour array of ``u`` (a view, do not mutate)."""
+        return self.indices[self.indptr[u] : self.indptr[u + 1]]
+
+    def degree(self, u: int) -> int:
+        return int(self.degrees[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        nbrs = self.neighbors(u)
+        i = np.searchsorted(nbrs, v)
+        return bool(i < len(nbrs) and nbrs[i] == v)
+
+    def edges(self) -> Iterator[Tuple[int, int]]:
+        """Yield each undirected edge once, as ``(u, v)`` with ``u < v``."""
+        for u in range(self.n):
+            for v in self.neighbors(u):
+                if u < v:
+                    yield u, int(v)
+
+    def edge_array(self) -> np.ndarray:
+        """All edges as an ``(m, 2)`` array with ``u < v`` rows."""
+        out = np.empty((self.m, 2), dtype=np.int64)
+        i = 0
+        for u, v in self.edges():
+            out[i, 0] = u
+            out[i, 1] = v
+            i += 1
+        return out
+
+    # ------------------------------------------------------------------
+    # degree ordering (paper Section 5.1)
+    # ------------------------------------------------------------------
+    def degree_order_rank(self) -> np.ndarray:
+        """Position of each vertex in the ``(degree, id)`` total order.
+
+        ``rank[u] > rank[v]`` means ``u ≻ v`` ("u is higher than v").  The
+        array is computed once and cached.
+        """
+        if self._order_rank is None:
+            order = np.lexsort((np.arange(self.n), self.degrees))
+            rank = np.empty(self.n, dtype=np.int64)
+            rank[order] = np.arange(self.n)
+            self._order_rank = rank
+        return self._order_rank
+
+    def is_higher(self, u: int, v: int) -> bool:
+        """``u ≻ v`` in the degree-based total order."""
+        rank = self.degree_order_rank()
+        return bool(rank[u] > rank[v])
+
+    # ------------------------------------------------------------------
+    # summary statistics
+    # ------------------------------------------------------------------
+    def avg_degree(self) -> float:
+        return 2.0 * self.m / self.n if self.n else 0.0
+
+    def max_degree(self) -> int:
+        return int(self.degrees.max()) if self.n else 0
+
+    def degree_skew(self) -> float:
+        """Max degree over average degree — the paper's informal skew proxy."""
+        avg = self.avg_degree()
+        return self.max_degree() / avg if avg > 0 else 0.0
+
+    # ------------------------------------------------------------------
+    # dunder conveniences
+    # ------------------------------------------------------------------
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"Graph{label}(n={self.n}, m={self.m})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Graph):
+            return NotImplemented
+        return (
+            self.n == other.n
+            and self.m == other.m
+            and np.array_equal(self.indptr, other.indptr)
+            and np.array_equal(self.indices, other.indices)
+        )
+
+    def __hash__(self) -> int:  # graphs are mutable-free; hash by identity data
+        return hash((self.n, self.m, self.indices.tobytes()))

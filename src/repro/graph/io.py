@@ -1,0 +1,57 @@
+"""Edge-list I/O for data graphs (SNAP-style text format)."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Tuple
+
+from .graph import Graph
+
+__all__ = ["write_edge_list", "read_edge_list"]
+
+
+def write_edge_list(g: Graph, path: str) -> None:
+    """Write ``# n m`` header followed by one ``u v`` pair per line."""
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(f"# {g.n} {g.m}\n")
+        for u, v in g.edges():
+            fh.write(f"{u} {v}\n")
+
+
+def read_edge_list(path: str, name: str = "") -> Graph:
+    """Read a graph written by :func:`write_edge_list` (or raw SNAP lists).
+
+    Lines beginning with ``#`` are treated as comments; the first comment
+    line may carry ``# n m``.  Without a header, ``n`` is inferred as
+    ``max vertex id + 1``.  Duplicate edges and self loops in raw files are
+    silently dropped (SNAP lists both directions of each edge).
+    """
+    if not os.path.exists(path):
+        raise FileNotFoundError(path)
+    n_hint = -1
+    pairs: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            if line.startswith("#"):
+                parts = line[1:].split()
+                if n_hint < 0 and len(parts) >= 1 and parts[0].isdigit():
+                    n_hint = int(parts[0])
+                continue
+            a, b = line.split()[:2]
+            pairs.append((int(a), int(b)))
+    seen = set()
+    edges: List[Tuple[int, int]] = []
+    max_id = -1
+    for u, v in pairs:
+        max_id = max(max_id, u, v)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key not in seen:
+            seen.add(key)
+            edges.append(key)
+    n = n_hint if n_hint >= 0 else max_id + 1
+    return Graph(n, edges, name=name or os.path.basename(path))

@@ -1,0 +1,76 @@
+"""Subgraph sampling from large data graphs.
+
+Used by the verification harness (cross-checking the fast counters
+against brute force on induced samples of graphs too big to brute force
+whole) and for scale sweeps.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from .graph import Graph
+
+__all__ = ["induced_subgraph", "bfs_ball", "random_induced_sample"]
+
+
+def induced_subgraph(g: Graph, vertices: Sequence[int]) -> Tuple[Graph, Dict[int, int]]:
+    """Induced subgraph on ``vertices`` (relabelled 0..len-1).
+
+    Returns the subgraph and the old->new vertex mapping.
+    """
+    keep = sorted(set(int(v) for v in vertices))
+    for v in keep:
+        if not (0 <= v < g.n):
+            raise ValueError(f"vertex {v} out of range")
+    remap = {old: new for new, old in enumerate(keep)}
+    keep_set = set(keep)
+    edges: List[Tuple[int, int]] = []
+    for u in keep:
+        for v in g.neighbors(u):
+            v = int(v)
+            if u < v and v in keep_set:
+                edges.append((remap[u], remap[v]))
+    return Graph(len(keep), edges, name=f"{g.name}|induced{len(keep)}"), remap
+
+
+def bfs_ball(g: Graph, center: int, max_vertices: int) -> List[int]:
+    """Vertices of the BFS ball around ``center``, capped at ``max_vertices``."""
+    if not (0 <= center < g.n):
+        raise ValueError("center out of range")
+    seen: Set[int] = {center}
+    order = [center]
+    queue = deque([center])
+    while queue and len(order) < max_vertices:
+        u = queue.popleft()
+        for v in g.neighbors(u):
+            v = int(v)
+            if v not in seen:
+                seen.add(v)
+                order.append(v)
+                queue.append(v)
+                if len(order) >= max_vertices:
+                    break
+    return order
+
+
+def random_induced_sample(
+    g: Graph,
+    max_vertices: int,
+    rng: np.random.Generator,
+    connected: bool = True,
+) -> Tuple[Graph, Dict[int, int]]:
+    """Random induced sample: a BFS ball around a random center (connected)
+    or a uniform vertex subset."""
+    if g.n == 0:
+        return g, {}
+    if connected:
+        center = int(rng.integers(g.n))
+        verts = bfs_ball(g, center, max_vertices)
+    else:
+        size = min(max_vertices, g.n)
+        verts = list(rng.choice(g.n, size=size, replace=False))
+    return induced_subgraph(g, verts)

@@ -1,0 +1,21 @@
+"""Motif analysis on top of the counting engine (census, null models,
+significance profiles) — the application workflow of the paper's intro."""
+
+from .census import CensusEntry, all_tw2_motifs, motif_census
+from .nullmodel import double_edge_swap, null_ensemble
+from .significance import (
+    MotifSignificance,
+    motif_significance,
+    significance_profile,
+)
+
+__all__ = [
+    "all_tw2_motifs",
+    "motif_census",
+    "CensusEntry",
+    "double_edge_swap",
+    "null_ensemble",
+    "MotifSignificance",
+    "motif_significance",
+    "significance_profile",
+]

@@ -1,0 +1,59 @@
+"""Query graphs, treewidth machinery and the Figure 8 query library."""
+
+from .automorphisms import automorphism_count, matches_to_subgraphs
+from .generators import (
+    random_cactus,
+    random_partial_two_tree,
+    random_series_parallel,
+    random_tw2_query,
+)
+from .isomorphism import are_isomorphic, canonical_form, degree_sequence, find_isomorphism
+from .library import (
+    PAPER_QUERY_SIZES,
+    all_fixture_queries,
+    complete_binary_tree,
+    cycle_query,
+    diamond,
+    paper_queries,
+    paper_query,
+    path_query,
+    satellite,
+    star_query,
+)
+from .query import QueryGraph
+from .treedecomposition import (
+    TreeDecomposition,
+    tree_decomposition_tw2,
+    verify_tree_decomposition,
+)
+from .treewidth import is_tree, is_treewidth_at_most_2, treewidth
+
+__all__ = [
+    "QueryGraph",
+    "treewidth",
+    "is_treewidth_at_most_2",
+    "is_tree",
+    "automorphism_count",
+    "matches_to_subgraphs",
+    "paper_query",
+    "paper_queries",
+    "PAPER_QUERY_SIZES",
+    "satellite",
+    "cycle_query",
+    "path_query",
+    "star_query",
+    "diamond",
+    "complete_binary_tree",
+    "all_fixture_queries",
+    "random_series_parallel",
+    "random_partial_two_tree",
+    "random_cactus",
+    "random_tw2_query",
+    "are_isomorphic",
+    "find_isomorphism",
+    "canonical_form",
+    "degree_sequence",
+    "TreeDecomposition",
+    "tree_decomposition_tw2",
+    "verify_tree_decomposition",
+]

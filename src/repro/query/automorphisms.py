@@ -1,0 +1,68 @@
+"""Automorphism counting for query graphs.
+
+Section 2 of the paper: the number of colorful *subgraphs* isomorphic to
+``Q`` equals the number of colorful *matches* divided by ``aut(Q)``.  For
+the paper's ≤ 12-node queries a pruned backtracking search is instant.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Optional
+
+from .query import QueryGraph
+
+__all__ = ["automorphism_count", "matches_to_subgraphs"]
+
+
+def automorphism_count(q: QueryGraph) -> int:
+    """Number of adjacency-preserving permutations of the nodes of ``Q``."""
+    qi, _ = q.relabel_to_ints()
+    k = qi.k
+    if k == 0:
+        return 1
+    adj = [set(qi.adj[i]) for i in range(k)]
+    degrees = [len(adj[i]) for i in range(k)]
+    # Order candidates by degree so the search fails fast on mismatches.
+    order = sorted(range(k), key=lambda v: -degrees[v])
+    mapping: List[Optional[int]] = [None] * k
+    used = [False] * k
+    count = 0
+
+    def backtrack(idx: int) -> None:
+        nonlocal count
+        if idx == k:
+            count += 1
+            return
+        v = order[idx]
+        for cand in range(k):
+            if used[cand] or degrees[cand] != degrees[v]:
+                continue
+            ok = True
+            for w in adj[v]:
+                mw = mapping[w]
+                if mw is not None and mw not in adj[cand]:
+                    ok = False
+                    break
+            if ok:
+                # also ensure no non-edge maps to an edge (automorphism is
+                # exact): mapped neighbours of cand must be images of
+                # neighbours of v
+                for w2 in range(k):
+                    mw2 = mapping[w2]
+                    if mw2 is not None and (w2 in adj[v]) != (mw2 in adj[cand]):
+                        ok = False
+                        break
+            if ok:
+                mapping[v] = cand
+                used[cand] = True
+                backtrack(idx + 1)
+                mapping[v] = None
+                used[cand] = False
+
+    backtrack(0)
+    return count
+
+
+def matches_to_subgraphs(match_count: float, q: QueryGraph) -> float:
+    """Convert a match (injective mapping) count to a subgraph count."""
+    return match_count / automorphism_count(q)

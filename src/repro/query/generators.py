@@ -1,0 +1,161 @@
+"""Random treewidth-2 query generators.
+
+The paper's class of queries — treewidth ≤ 2 — is exactly the class of
+partial 2-trees (subgraphs of series-parallel graphs plus trees).  These
+generators sample that space for property-based testing and for workload
+sweeps beyond the fixed Figure 8 library:
+
+* :func:`random_series_parallel` — random series-parallel graph between
+  two terminals by repeated series/parallel composition;
+* :func:`random_partial_two_tree` — a 2-tree grown by ear/vertex
+  additions, then randomly sparsified (still connected);
+* :func:`random_cactus` — cycles glued at single vertices (the shape of
+  brain1 and friends);
+* :func:`random_tw2_query` — a mixed sampler over the above plus trees.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+import numpy as np
+
+from .query import QueryGraph
+from .treewidth import is_treewidth_at_most_2
+
+__all__ = [
+    "random_series_parallel",
+    "random_partial_two_tree",
+    "random_cactus",
+    "random_tw2_query",
+]
+
+
+def random_series_parallel(
+    num_ops: int, rng: np.random.Generator, name: str = "sp"
+) -> QueryGraph:
+    """Random series-parallel graph via ``num_ops`` compositions.
+
+    Starts from a single edge between terminals ``s`` and ``t``; each
+    operation picks a random existing edge and either *subdivides* it
+    (series) or *duplicates it through a fresh middle vertex* (parallel
+    with a 2-path, keeping the graph simple).  Series-parallel graphs
+    have treewidth ≤ 2 by construction.
+    """
+    edges: Set[Tuple[int, int]] = {(0, 1)}
+    nxt = 2
+    for _ in range(num_ops):
+        edge_list = sorted(edges)
+        a, b = edge_list[rng.integers(len(edge_list))]
+        if rng.random() < 0.5:
+            # series: a-b becomes a-x-b
+            edges.discard((a, b))
+            edges.add((min(a, nxt), max(a, nxt)))
+            edges.add((min(nxt, b), max(nxt, b)))
+        else:
+            # parallel: add a second a-x-b path alongside a-b
+            edges.add((min(a, nxt), max(a, nxt)))
+            edges.add((min(nxt, b), max(nxt, b)))
+        nxt += 1
+    q = QueryGraph(sorted(edges), name=name)
+    assert is_treewidth_at_most_2(q)
+    return q
+
+
+def random_partial_two_tree(
+    k: int, rng: np.random.Generator, sparsify: float = 0.25, name: str = "p2t"
+) -> QueryGraph:
+    """Random connected partial 2-tree on ``k`` nodes.
+
+    Grows a 2-tree (each new vertex attached to both endpoints of an
+    existing edge), then removes a ``sparsify`` fraction of removable
+    edges while keeping the graph connected.
+    """
+    if k < 2:
+        return QueryGraph([], nodes=range(max(k, 1)), name=name)
+    edges: Set[Tuple[int, int]] = {(0, 1)}
+    for v in range(2, k):
+        edge_list = sorted(edges)
+        a, b = edge_list[rng.integers(len(edge_list))]
+        edges.add((min(a, v), max(a, v)))
+        edges.add((min(b, v), max(b, v)))
+    # sparsify while preserving connectivity
+    removable = sorted(edges)
+    rng.shuffle(removable)
+    target_removals = int(sparsify * len(removable))
+    removed = 0
+    for e in removable:
+        if removed >= target_removals:
+            break
+        trial = set(edges)
+        trial.discard(e)
+        if _connected(k, trial):
+            edges = trial
+            removed += 1
+    q = QueryGraph(sorted(edges), nodes=range(k), name=name)
+    assert is_treewidth_at_most_2(q)
+    return q
+
+
+def random_cactus(
+    num_cycles: int,
+    rng: np.random.Generator,
+    min_len: int = 3,
+    max_len: int = 6,
+    name: str = "cactus",
+) -> QueryGraph:
+    """Cycles glued at single shared vertices (brain1-style queries)."""
+    edges: List[Tuple[int, int]] = []
+    anchors = [0]
+    nxt = 1
+    for _ in range(num_cycles):
+        length = int(rng.integers(min_len, max_len + 1))
+        anchor = anchors[rng.integers(len(anchors))]
+        ring = [anchor] + list(range(nxt, nxt + length - 1))
+        nxt += length - 1
+        for i in range(length):
+            a, b = ring[i], ring[(i + 1) % length]
+            edges.append((min(a, b), max(a, b)))
+        anchors.extend(ring[1:])
+    q = QueryGraph(sorted(set(edges)), name=name)
+    assert is_treewidth_at_most_2(q)
+    return q
+
+
+def random_tw2_query(
+    rng: np.random.Generator, max_k: int = 10, name: str = ""
+) -> QueryGraph:
+    """Mixed sampler over the treewidth-2 query space (incl. trees)."""
+    kind = rng.integers(4)
+    if kind == 0:
+        q = random_series_parallel(int(rng.integers(2, max(3, max_k - 2))), rng)
+    elif kind == 1:
+        q = random_partial_two_tree(int(rng.integers(3, max_k + 1)), rng)
+    elif kind == 2:
+        q = random_cactus(int(rng.integers(1, 3)), rng)
+    else:
+        # random tree
+        k = int(rng.integers(2, max_k + 1))
+        edges = [(int(rng.integers(i)), i) for i in range(1, k)]
+        q = QueryGraph(edges, nodes=range(k))
+    if q.k > max_k:
+        # regenerate smaller rather than truncate (keeps invariants simple)
+        return random_tw2_query(rng, max_k=max_k, name=name)
+    q.name = name or f"tw2-rand-{q.k}"
+    return q
+
+
+def _connected(n: int, edges: Set[Tuple[int, int]]) -> bool:
+    adj: List[List[int]] = [[] for _ in range(n)]
+    for a, b in edges:
+        adj[a].append(b)
+        adj[b].append(a)
+    seen = {0}
+    stack = [0]
+    while stack:
+        u = stack.pop()
+        for v in adj[u]:
+            if v not in seen:
+                seen.add(v)
+                stack.append(v)
+    return len(seen) == n

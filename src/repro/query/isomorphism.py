@@ -1,0 +1,99 @@
+"""Query-graph isomorphism utilities.
+
+Small-graph isomorphism testing and canonical forms, used to deduplicate
+generated queries, to sanity-check the Figure 8 reconstructions (e.g.
+glet2 really is the diamond graphlet) and to verify match counts are
+isomorphism-invariant.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, FrozenSet, Hashable, List, Optional, Tuple
+
+from .query import QueryGraph
+
+__all__ = ["are_isomorphic", "find_isomorphism", "canonical_form", "degree_sequence"]
+
+
+def degree_sequence(q: QueryGraph) -> Tuple[int, ...]:
+    """Sorted degree sequence (an isomorphism invariant)."""
+    return tuple(sorted(q.degree(v) for v in q.nodes()))
+
+
+def find_isomorphism(
+    a: QueryGraph, b: QueryGraph
+) -> Optional[Dict[Hashable, Hashable]]:
+    """A node bijection ``a -> b`` preserving adjacency exactly, or None.
+
+    Backtracking with degree pruning; fine for the ≤ ~12-node queries of
+    the paper (use networkx for anything bigger).
+    """
+    if a.k != b.k or a.num_edges() != b.num_edges():
+        return None
+    if degree_sequence(a) != degree_sequence(b):
+        return None
+    a_nodes = sorted(a.nodes(), key=lambda v: (-a.degree(v), repr(v)))
+    b_nodes = b.nodes()
+    b_by_degree: Dict[int, List[Hashable]] = {}
+    for v in b_nodes:
+        b_by_degree.setdefault(b.degree(v), []).append(v)
+
+    mapping: Dict[Hashable, Hashable] = {}
+    used: set = set()
+
+    def backtrack(i: int) -> bool:
+        if i == len(a_nodes):
+            return True
+        v = a_nodes[i]
+        for cand in b_by_degree.get(a.degree(v), ()):
+            if cand in used:
+                continue
+            ok = True
+            for u in a.adj[v]:
+                if u in mapping and mapping[u] not in b.adj[cand]:
+                    ok = False
+                    break
+            if ok:
+                # non-adjacency must also be preserved (exact isomorphism)
+                for u, mu in mapping.items():
+                    if (u in a.adj[v]) != (mu in b.adj[cand]):
+                        ok = False
+                        break
+            if ok:
+                mapping[v] = cand
+                used.add(cand)
+                if backtrack(i + 1):
+                    return True
+                del mapping[v]
+                used.discard(cand)
+        return False
+
+    return dict(mapping) if backtrack(0) else None
+
+
+def are_isomorphic(a: QueryGraph, b: QueryGraph) -> bool:
+    """Whether an exact isomorphism ``a -> b`` exists."""
+    return find_isomorphism(a, b) is not None
+
+
+def canonical_form(q: QueryGraph) -> FrozenSet[Tuple[int, int]]:
+    """Canonical edge set: lexicographically smallest over relabelings.
+
+    Brute force over permutations — only for queries up to ~8 nodes
+    (deduplicating generated test queries).  For larger graphs compare
+    with :func:`are_isomorphic` pairwise instead.
+    """
+    qi, _ = q.relabel_to_ints()
+    k = qi.k
+    if k > 8:
+        raise ValueError("canonical_form is factorial; limited to 8 nodes")
+    edges = [tuple(sorted(e)) for e in qi.edges()]
+    best: Optional[Tuple[Tuple[int, int], ...]] = None
+    for perm in permutations(range(k)):
+        relabeled = tuple(
+            sorted(tuple(sorted((perm[u], perm[v]))) for u, v in edges)
+        )
+        if best is None or relabeled < best:
+            best = relabeled
+    return frozenset(best or ())

@@ -1,0 +1,124 @@
+"""Query (template/motif) graphs.
+
+Queries are small (≤ ~12 nodes in the paper) so they are stored as plain
+adjacency sets over hashable node labels.  Labels are kept symbolic
+(strings like ``"a"`` or ints) because the decomposition machinery
+annotates and contracts named nodes, mirroring the paper's Figure 2.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+
+__all__ = ["QueryGraph"]
+
+Node = Hashable
+Edge = Tuple[Node, Node]
+
+
+class QueryGraph:
+    """A small undirected simple query graph over hashable node labels."""
+
+    def __init__(self, edges: Iterable[Edge], nodes: Iterable[Node] = (), name: str = "") -> None:
+        self.name = name
+        self.adj: Dict[Node, Set[Node]] = {}
+        for v in nodes:
+            self.adj.setdefault(v, set())
+        for a, b in edges:
+            if a == b:
+                raise ValueError(f"self loop on query node {a!r}")
+            self.adj.setdefault(a, set())
+            self.adj.setdefault(b, set())
+            self.adj[a].add(b)
+            self.adj[b].add(a)
+
+    # ------------------------------------------------------------------
+    @property
+    def k(self) -> int:
+        """Number of query nodes — the number of colors used by color coding."""
+        return len(self.adj)
+
+    def nodes(self) -> List[Node]:
+        return sorted(self.adj, key=repr)
+
+    def edges(self) -> List[Edge]:
+        seen: Set[FrozenSet[Node]] = set()
+        out: List[Edge] = []
+        for a in self.nodes():
+            for b in sorted(self.adj[a], key=repr):
+                key = frozenset((a, b))
+                if key not in seen:
+                    seen.add(key)
+                    out.append((a, b))
+        return out
+
+    def num_edges(self) -> int:
+        return sum(len(s) for s in self.adj.values()) // 2
+
+    def degree(self, v: Node) -> int:
+        return len(self.adj[v])
+
+    def has_edge(self, a: Node, b: Node) -> bool:
+        return b in self.adj.get(a, ())
+
+    def neighbors(self, v: Node) -> Set[Node]:
+        return self.adj[v]
+
+    def is_connected(self) -> bool:
+        if self.k <= 1:
+            return True
+        nodes = self.nodes()
+        seen = {nodes[0]}
+        stack = [nodes[0]]
+        while stack:
+            u = stack.pop()
+            for v in self.adj[u]:
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        return len(seen) == self.k
+
+    # ------------------------------------------------------------------
+    def relabel_to_ints(self) -> Tuple["QueryGraph", Dict[Node, int]]:
+        """Return an integer-labelled copy (0..k-1) plus the mapping used."""
+        mapping = {v: i for i, v in enumerate(self.nodes())}
+        edges = [(mapping[a], mapping[b]) for a, b in self.edges()]
+        return QueryGraph(edges, nodes=range(self.k), name=self.name), mapping
+
+    def subgraph(self, keep: Iterable[Node]) -> "QueryGraph":
+        keep_set = set(keep)
+        edges = [(a, b) for a, b in self.edges() if a in keep_set and b in keep_set]
+        return QueryGraph(edges, nodes=keep_set, name=self.name)
+
+    def copy(self) -> "QueryGraph":
+        return QueryGraph(self.edges(), nodes=self.nodes(), name=self.name)
+
+    # ------------------------------------------------------------------
+    def degeneracy(self) -> int:
+        """Graph degeneracy (lower bound on treewidth); simple peeling."""
+        adj = {v: set(ns) for v, ns in self.adj.items()}
+        best = 0
+        while adj:
+            v = min(adj, key=lambda u: (len(adj[u]), repr(u)))
+            best = max(best, len(adj[v]))
+            for u in adj[v]:
+                adj[u].discard(v)
+            del adj[v]
+        return best
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        label = f" {self.name!r}" if self.name else ""
+        return f"QueryGraph{label}(k={self.k}, m={self.num_edges()})"
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryGraph):
+            return NotImplemented
+        return set(self.nodes()) == set(other.nodes()) and set(
+            map(frozenset, self.edges())
+        ) == set(map(frozenset, other.edges()))
+
+    def __hash__(self) -> int:
+        return hash(frozenset(map(frozenset, self.edges())) | frozenset((n,) for n in self.nodes()))

@@ -1,0 +1,156 @@
+"""Explicit tree decompositions (paper Section 2, "Treewidth").
+
+The decomposition-tree machinery of Section 4 never materialises a formal
+tree decomposition — Lemma 4.1 only relies on one existing.  For
+completeness (and to validate the treewidth bounds independently), this
+module constructs an explicit width-≤2 tree decomposition for any partial
+2-tree via the reduction sequence, and verifies the three defining
+properties of Section 2 for arbitrary decompositions:
+
+(i)  every query edge is inside some bag;
+(ii) for every query node, the bags containing it form a connected
+     subtree (equivalently: the running-intersection property);
+(iii) width = max bag size - 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+
+from .query import QueryGraph
+
+__all__ = ["TreeDecomposition", "tree_decomposition_tw2", "verify_tree_decomposition"]
+
+Node = Hashable
+
+
+@dataclass
+class TreeDecomposition:
+    """Bags plus tree edges over bag indices."""
+
+    bags: List[FrozenSet[Node]]
+    tree_edges: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def width(self) -> int:
+        return max((len(b) for b in self.bags), default=0) - 1
+
+    def bags_containing(self, v: Node) -> List[int]:
+        return [i for i, b in enumerate(self.bags) if v in b]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"TreeDecomposition(bags={len(self.bags)}, width={self.width})"
+
+
+def tree_decomposition_tw2(q: QueryGraph) -> TreeDecomposition:
+    """A width-≤2 tree decomposition of a partial 2-tree.
+
+    Standard construction along the degree-≤2 reduction: eliminating a
+    vertex ``v`` of degree ≤ 2 creates the bag ``{v} ∪ N(v)`` which is
+    attached to (a bag later created for) one of its neighbours.  Raises
+    ``ValueError`` on queries of treewidth > 2.
+    """
+    if q.k == 0:
+        return TreeDecomposition(bags=[])
+    adj: Dict[Node, Set[Node]] = {v: set(ns) for v, ns in q.adj.items()}
+    elimination: List[Tuple[Node, Tuple[Node, ...]]] = []
+    order_queue = sorted(adj, key=lambda u: (len(adj[u]), repr(u)))
+    while adj:
+        candidates = [v for v in adj if len(adj[v]) <= 2]
+        if not candidates:
+            raise ValueError("query has treewidth > 2; no width-2 decomposition")
+        v = min(candidates, key=lambda u: (len(adj[u]), repr(u)))
+        nbrs = tuple(sorted(adj[v], key=repr))
+        elimination.append((v, nbrs))
+        if len(nbrs) == 2:
+            x, y = nbrs
+            adj[x].discard(v)
+            adj[y].discard(v)
+            adj[x].add(y)
+            adj[y].add(x)
+        elif len(nbrs) == 1:
+            adj[nbrs[0]].discard(v)
+        del adj[v]
+
+    bags: List[FrozenSet[Node]] = []
+    tree_edges: List[Tuple[int, int]] = []
+    # Process in reverse elimination order.  Invariant: when vertex v (with
+    # eliminated-time neighbours N, |N| <= 2) is processed, N was a clique
+    # of the reduced graph, so some already-created bag contains all of N —
+    # the new bag {v} ∪ N attaches there, which preserves the
+    # running-intersection property for every member of N.
+    for v, nbrs in reversed(elimination):
+        idx = len(bags)
+        need = set(nbrs)
+        bags.append(frozenset((v,) + nbrs))
+        if need:
+            anchor = next(
+                (i for i, b in enumerate(bags[:idx]) if need <= b), None
+            )
+            if anchor is None:  # pragma: no cover - invariant violation
+                raise AssertionError("no bag contains the eliminated clique")
+            tree_edges.append((anchor, idx))
+        elif idx > 0:
+            # isolated remainder (connected queries: only the final root);
+            # attach anywhere to keep the bag tree connected
+            tree_edges.append((0, idx))
+    td = TreeDecomposition(bags=bags, tree_edges=tree_edges)
+    verify_tree_decomposition(q, td)
+    return td
+
+
+def verify_tree_decomposition(q: QueryGraph, td: TreeDecomposition) -> None:
+    """Check the three Section 2 properties; raise ``ValueError`` if broken."""
+    n_bags = len(td.bags)
+    for i, j in td.tree_edges:
+        if not (0 <= i < n_bags and 0 <= j < n_bags):
+            raise ValueError("tree edge references a missing bag")
+    # the tree must be acyclic and connected over the bags
+    if n_bags:
+        if len(td.tree_edges) != n_bags - 1:
+            raise ValueError("bag tree must have exactly bags-1 edges")
+        parent = list(range(n_bags))
+
+        def find(x: int) -> int:
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        for i, j in td.tree_edges:
+            ri, rj = find(i), find(j)
+            if ri == rj:
+                raise ValueError("bag tree contains a cycle")
+            parent[ri] = rj
+
+    # (i) node and edge coverage
+    covered: Set[Node] = set()
+    for b in td.bags:
+        covered |= set(b)
+    if covered != set(q.nodes()):
+        raise ValueError("bags do not cover the query nodes")
+    for a, b in q.edges():
+        if not any(a in bag and b in bag for bag in td.bags):
+            raise ValueError(f"edge ({a!r},{b!r}) not inside any bag")
+
+    # (ii) connected subtree per node
+    adj_bags: Dict[int, List[int]] = {i: [] for i in range(n_bags)}
+    for i, j in td.tree_edges:
+        adj_bags[i].append(j)
+        adj_bags[j].append(i)
+    for v in q.nodes():
+        containing = set(td.bags_containing(v))
+        if not containing:
+            raise ValueError(f"node {v!r} missing from all bags")
+        start = next(iter(containing))
+        seen = {start}
+        stack = [start]
+        while stack:
+            cur = stack.pop()
+            for nb in adj_bags[cur]:
+                if nb in containing and nb not in seen:
+                    seen.add(nb)
+                    stack.append(nb)
+        if seen != containing:
+            raise ValueError(f"bags containing {v!r} are not connected")

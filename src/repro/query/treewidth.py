@@ -1,0 +1,124 @@
+"""Treewidth computation for small query graphs.
+
+Two levels are provided:
+
+* :func:`is_treewidth_at_most_2` — linear-time recognition of partial
+  2-trees via the classic reduction rule (repeatedly delete degree-≤1
+  vertices; splice out degree-2 vertices, connecting their neighbours).
+  This is the gate every query must pass before the decomposition-tree
+  machinery of the paper applies.
+* :func:`treewidth` — exact treewidth by dynamic programming over vertex
+  subsets (the Bodlaender–Held-Karp style elimination-ordering DP,
+  ``O(2^k · k^2)``), fine for the paper's ≤ 12-node queries.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+
+from .query import QueryGraph
+
+__all__ = ["is_treewidth_at_most_2", "treewidth", "is_tree"]
+
+
+def is_tree(q: QueryGraph) -> bool:
+    """Connected and acyclic (treewidth exactly 1 unless edgeless)."""
+    return q.is_connected() and q.num_edges() == q.k - 1
+
+
+def is_treewidth_at_most_2(q: QueryGraph) -> bool:
+    """Partial 2-tree recognition by reduction.
+
+    A graph has treewidth ≤ 2 iff repeatedly (a) removing isolated and
+    degree-1 vertices and (b) replacing a degree-2 vertex by an edge
+    between its neighbours (if absent) reduces it to the empty graph.
+    Works on disconnected graphs too.
+    """
+    adj: Dict[Hashable, Set[Hashable]] = {v: set(ns) for v, ns in q.adj.items()}
+    queue = [v for v in adj if len(adj[v]) <= 2]
+    while queue:
+        v = queue.pop()
+        if v not in adj:
+            continue
+        deg = len(adj[v])
+        if deg > 2:
+            continue
+        if deg == 2:
+            x, y = tuple(adj[v])
+            adj[x].discard(v)
+            adj[y].discard(v)
+            if y not in adj[x]:
+                adj[x].add(y)
+                adj[y].add(x)
+        elif deg == 1:
+            (x,) = tuple(adj[v])
+            adj[x].discard(v)
+        del adj[v]
+        for u in list(adj):
+            if len(adj[u]) <= 2:
+                queue.append(u)
+    return not adj
+
+
+def treewidth(q: QueryGraph) -> int:
+    """Exact treewidth via subset DP over elimination orderings.
+
+    ``tw(G) = min over orderings of max over v of |higher neighbours of v
+    in the fill-in graph|``; computed as the classic recurrence
+    ``f(S) = min_{v in S} max(f(S - v), |N(v) in G[S] reachable...|)``
+    using the "Q-function": the cost of eliminating ``v`` from subset
+    ``S`` is the number of vertices outside ``S`` reachable from ``v``
+    through ``S``.  Exponential in ``k``; intended for ``k <= ~16``.
+    """
+    qi, _ = q.relabel_to_ints()
+    k = qi.k
+    if k == 0:
+        return -1  # convention: empty graph
+    if k > 20:
+        raise ValueError("exact treewidth DP limited to 20 nodes")
+    nbr_mask: List[int] = [0] * k
+    for a, b in qi.edges():
+        nbr_mask[a] |= 1 << b
+        nbr_mask[b] |= 1 << a
+    full = (1 << k) - 1
+
+    @lru_cache(maxsize=None)
+    def reach_cost(v: int, s_mask: int) -> int:
+        """# vertices outside S ∪ {v} reachable from v via vertices in S."""
+        seen = 1 << v
+        stack = [v]
+        outside = 0
+        while stack:
+            u = stack.pop()
+            for w in range(k):
+                bit = 1 << w
+                if nbr_mask[u] & bit and not seen & bit:
+                    seen |= bit
+                    if s_mask & bit:
+                        stack.append(w)
+                    else:
+                        outside += 1
+        return outside
+
+    @lru_cache(maxsize=None)
+    def f(s_mask: int) -> int:
+        """Min over orderings of S of the max elimination cost."""
+        if s_mask == 0:
+            return 0
+        best = k
+        sub = s_mask
+        v = 0
+        while sub:
+            if sub & 1:
+                rest = s_mask & ~(1 << v)
+                cost = reach_cost(v, rest)
+                best = min(best, max(cost, f(rest)))
+            sub >>= 1
+            v += 1
+        return best
+
+    result = f(full)
+    f.cache_clear()
+    reach_cost.cache_clear()
+    return result

@@ -1,0 +1,112 @@
+"""Open-addressing hash table (paper Section 7 engine fidelity).
+
+The paper's engine: "All the tables are maintained as distributed hash
+tables which use open addressing to resolve collisions."  The solvers in
+this repo use Python dicts (themselves open-addressing tables, but
+opaque); this module provides an explicit linear-probing table over
+integer-tuple keys so that the storage behaviour the paper describes —
+probe sequences, load factors, resize policy — is inspectable and
+benchmarkable (see ``bench_ablation.py``'s storage comparison).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Tuple
+
+__all__ = ["OpenAddressingTable"]
+
+_EMPTY = None  # slot sentinel
+
+
+class OpenAddressingTable:
+    """Linear-probing hash map from int tuples to int counts.
+
+    Supports the one access pattern projection tables need:
+    ``add(key, count)`` accumulates, ``get`` reads, ``items`` iterates.
+    Deletion is intentionally unsupported (projection tables only grow
+    within a join and are then discarded wholesale).
+    """
+
+    __slots__ = ("_slots", "_size", "_mask", "probe_count")
+
+    MIN_CAPACITY = 8
+    MAX_LOAD = 0.66
+
+    def __init__(self, capacity: int = MIN_CAPACITY) -> None:
+        cap = max(self.MIN_CAPACITY, 1 << (capacity - 1).bit_length())
+        self._slots: List[Optional[Tuple[tuple, int]]] = [_EMPTY] * cap
+        self._size = 0
+        self._mask = cap - 1
+        #: total probe steps performed (collision diagnostics)
+        self.probe_count = 0
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return self._size
+
+    @property
+    def capacity(self) -> int:
+        return len(self._slots)
+
+    @property
+    def load_factor(self) -> float:
+        return self._size / len(self._slots)
+
+    # ------------------------------------------------------------------
+    def _probe(self, key: tuple) -> int:
+        """Index of the slot holding ``key`` or the first empty slot."""
+        idx = hash(key) & self._mask
+        slots = self._slots
+        while True:
+            entry = slots[idx]
+            if entry is _EMPTY or entry[0] == key:
+                return idx
+            idx = (idx + 1) & self._mask
+            self.probe_count += 1
+
+    def _resize(self) -> None:
+        old = self._slots
+        new_cap = len(old) * 2
+        self._slots = [_EMPTY] * new_cap
+        self._mask = new_cap - 1
+        self._size = 0
+        for entry in old:
+            if entry is not _EMPTY:
+                self.add(entry[0], entry[1])
+
+    # ------------------------------------------------------------------
+    def add(self, key: tuple, count: int) -> None:
+        """Accumulate ``count`` into ``key`` (insert if absent)."""
+        idx = self._probe(key)
+        entry = self._slots[idx]
+        if entry is _EMPTY:
+            self._slots[idx] = (key, count)
+            self._size += 1
+            if self.load_factor > self.MAX_LOAD:
+                self._resize()
+        else:
+            self._slots[idx] = (key, entry[1] + count)
+
+    def get(self, key: tuple, default: int = 0) -> int:
+        entry = self._slots[self._probe(key)]
+        return default if entry is _EMPTY else entry[1]
+
+    def __contains__(self, key: tuple) -> bool:
+        return self._slots[self._probe(key)] is not _EMPTY
+
+    def items(self) -> Iterator[Tuple[tuple, int]]:
+        for entry in self._slots:
+            if entry is not _EMPTY:
+                yield entry
+
+    def total(self) -> int:
+        return sum(cnt for _k, cnt in self.items())
+
+    def to_dict(self) -> dict:
+        return {k: v for k, v in self.items()}
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"OpenAddressingTable(size={self._size}, capacity={self.capacity}, "
+            f"load={self.load_factor:.2f})"
+        )

@@ -1,0 +1,150 @@
+"""Projection tables (paper Section 4.2).
+
+A projection table is a sparse map from ``(boundary vertex images,
+signature)`` to the number of colorful matches of a subquery consistent
+with that key.  Only non-zero counts are stored.
+
+Three key shapes occur:
+
+* **unary** — subqueries with one boundary node: key ``(u, sig)``;
+* **binary** — two boundary nodes: key ``(u, v, sig)``;
+* **binary with extras** — the DB algorithm's path tables additionally
+  record the images of cycle-boundary nodes that fall *inside* a path
+  (Section 5.1, Configurations A/B): key ``(u, v, extras, sig)`` where
+  ``extras`` is a tuple of recorded vertex images in a fixed label order.
+
+All tables are plain dicts; the classes add boundary metadata, index
+building for merge joins, and transposition (the paper: "the boundary
+tables are transpose of each other").
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+
+__all__ = ["UnaryTable", "BinaryTable", "PathTable", "table_total"]
+
+Node = Hashable
+
+
+class UnaryTable:
+    """cnt(u, sig | Q) for a subquery with a single boundary node."""
+
+    __slots__ = ("boundary", "data")
+
+    def __init__(self, boundary: Node) -> None:
+        self.boundary = boundary
+        self.data: Dict[Tuple[int, int], int] = {}
+
+    def add(self, u: int, sig: int, count: int) -> None:
+        key = (u, sig)
+        self.data[key] = self.data.get(key, 0) + count
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int], int]]:
+        return iter(self.data.items())
+
+    def by_vertex(self) -> Dict[int, List[Tuple[int, int]]]:
+        """Index ``u -> [(sig, count), ...]`` for NodeJoin merge loops."""
+        index: Dict[int, List[Tuple[int, int]]] = defaultdict(list)
+        for (u, sig), cnt in self.data.items():
+            index[u].append((sig, cnt))
+        return dict(index)
+
+    def total(self) -> int:
+        return sum(self.data.values())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"UnaryTable(boundary={self.boundary!r}, entries={len(self.data)})"
+
+
+class BinaryTable:
+    """cnt(u, v, sig | Q) for a subquery with two (ordered) boundary nodes."""
+
+    __slots__ = ("boundary", "data")
+
+    def __init__(self, boundary: Tuple[Node, Node]) -> None:
+        self.boundary = boundary
+        self.data: Dict[Tuple[int, int, int], int] = {}
+
+    def add(self, u: int, v: int, sig: int, count: int) -> None:
+        key = (u, v, sig)
+        self.data[key] = self.data.get(key, 0) + count
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int, int], int]]:
+        return iter(self.data.items())
+
+    def transpose(self) -> "BinaryTable":
+        """Swap boundary order: cnt(u, v, sig) becomes cnt(v, u, sig)."""
+        out = BinaryTable((self.boundary[1], self.boundary[0]))
+        for (u, v, sig), cnt in self.data.items():
+            out.add(v, u, sig, cnt)
+        return out
+
+    def by_first(self) -> Dict[int, List[Tuple[int, int, int]]]:
+        """Index ``u -> [(v, sig, count), ...]`` for EdgeJoin merge loops."""
+        index: Dict[int, List[Tuple[int, int, int]]] = defaultdict(list)
+        for (u, v, sig), cnt in self.data.items():
+            index[u].append((v, sig, cnt))
+        return dict(index)
+
+    def total(self) -> int:
+        return sum(self.data.values())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"BinaryTable(boundary={self.boundary!r}, entries={len(self.data)})"
+
+
+class PathTable:
+    """Working table for a path segment of a cycle (kernels-internal).
+
+    Keys are ``(start_vertex, end_vertex, extras, sig)`` where ``extras``
+    is a tuple of images of the recorded boundary labels (in the order of
+    ``record_labels``).  ``record_labels`` lists the cycle-boundary query
+    nodes that lie strictly inside this path segment and must be carried
+    through (the DB algorithm's additional key fields).
+    """
+
+    __slots__ = ("record_labels", "data")
+
+    def __init__(self, record_labels: Tuple[Node, ...] = ()) -> None:
+        self.record_labels = record_labels
+        self.data: Dict[Tuple[int, int, Tuple[int, ...], int], int] = {}
+
+    def add(self, u: int, v: int, extras: Tuple[int, ...], sig: int, count: int) -> None:
+        key = (u, v, extras, sig)
+        self.data[key] = self.data.get(key, 0) + count
+
+    def items(self) -> Iterator[Tuple[Tuple[int, int, Tuple[int, ...], int], int]]:
+        return iter(self.data.items())
+
+    def by_endpoints(self) -> Dict[Tuple[int, int], List[Tuple[Tuple[int, ...], int, int]]]:
+        """Index ``(u, v) -> [(extras, sig, count), ...]`` for cycle merges."""
+        index: Dict[Tuple[int, int], List[Tuple[Tuple[int, ...], int, int]]] = defaultdict(list)
+        for (u, v, extras, sig), cnt in self.data.items():
+            index[(u, v)].append((extras, sig, cnt))
+        return dict(index)
+
+    def total(self) -> int:
+        return sum(self.data.values())
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PathTable(record={self.record_labels!r}, entries={len(self.data)})"
+        )
+
+
+def table_total(table) -> int:
+    """Sum of counts of any table type (or 0 for None)."""
+    if table is None:
+        return 0
+    return table.total()

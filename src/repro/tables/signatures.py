@@ -1,0 +1,100 @@
+"""Color signatures as integer bitmasks (paper Section 4.2, "Signature").
+
+A signature is a subset of the ``k`` colors; we store it as an int with
+bit ``c`` set iff color ``c`` is in the set.  The paper's distributed
+engine "maintains signatures as bitmaps" with "signature compatibility
+checks performed via fast bitwise operations" — identical here.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List
+
+__all__ = [
+    "empty_signature",
+    "full_signature",
+    "color_bit",
+    "sig_from_colors",
+    "sig_contains",
+    "sig_add",
+    "sig_union",
+    "sig_intersection",
+    "sig_size",
+    "sig_colors",
+    "sig_disjoint_except",
+    "all_signatures",
+]
+
+
+def empty_signature() -> int:
+    """The empty color set."""
+    return 0
+
+
+def full_signature(k: int) -> int:
+    """Signature containing all ``k`` colors."""
+    return (1 << k) - 1
+
+
+def color_bit(color: int) -> int:
+    """Singleton signature containing just ``color``."""
+    return 1 << color
+
+
+def sig_from_colors(colors: Iterable[int]) -> int:
+    """Signature of an iterable of colors."""
+    sig = 0
+    for c in colors:
+        sig |= 1 << c
+    return sig
+
+
+def sig_contains(sig: int, color: int) -> bool:
+    """Whether ``color`` is in the signature."""
+    return bool(sig >> color & 1)
+
+
+def sig_add(sig: int, color: int) -> int:
+    """Signature with ``color`` added."""
+    return sig | (1 << color)
+
+
+def sig_union(a: int, b: int) -> int:
+    """Set union of two signatures."""
+    return a | b
+
+
+def sig_intersection(a: int, b: int) -> int:
+    """Set intersection of two signatures."""
+    return a & b
+
+
+def sig_size(sig: int) -> int:
+    """Number of colors in the signature (popcount)."""
+    return bin(sig).count("1")
+
+
+def sig_colors(sig: int) -> List[int]:
+    """Sorted list of colors in the signature."""
+    out = []
+    c = 0
+    while sig:
+        if sig & 1:
+            out.append(c)
+        sig >>= 1
+        c += 1
+    return out
+
+
+def sig_disjoint_except(a: int, b: int, shared: int) -> bool:
+    """Paper join condition: ``a ∩ b == shared`` exactly.
+
+    Used for every join: two partial matches may combine iff the colors
+    they share are exactly the colors of their shared boundary vertices.
+    """
+    return (a & b) == shared
+
+
+def all_signatures(k: int) -> Iterator[int]:
+    """All 2^k signatures over k colors (tests/exhaustive checks only)."""
+    return iter(range(1 << k))

@@ -1,0 +1,36 @@
+"""Section 9-10 theory toolkit: Chung-Lu graphs, X(q)/Y(q), bounds."""
+
+from .balance import balance_report, claim_10_1_prediction
+from .bounds import (
+    power_law_exponents,
+    predicted_gap_exponent,
+    x_upper_bound,
+    y_lower_bound,
+)
+from .chunglu import (
+    edge_probability,
+    power_law_graph,
+    sample_chung_lu,
+    validate_degree_sequence,
+)
+from .paths import count_simple_paths, count_x_paths, count_y_paths
+from .simulation import PathStatEstimate, estimate_xy, xy_growth_curve
+
+__all__ = [
+    "balance_report",
+    "claim_10_1_prediction",
+    "power_law_exponents",
+    "predicted_gap_exponent",
+    "x_upper_bound",
+    "y_lower_bound",
+    "edge_probability",
+    "power_law_graph",
+    "sample_chung_lu",
+    "validate_degree_sequence",
+    "count_simple_paths",
+    "count_x_paths",
+    "count_y_paths",
+    "PathStatEstimate",
+    "estimate_xy",
+    "xy_growth_curve",
+]

@@ -1,0 +1,41 @@
+"""λ-balance and the power-law connection (paper Section 10, Claim 10.1).
+
+Claim 10.1: any degree sequence satisfying the truncated power law with
+exponent ``α ∈ (1, 2)`` is λ-balanced for ``λ = O(n^{α/2 - 1})``.  The
+checker here evaluates the balance ratio empirically and compares it to
+the claim's prediction — the empirical half of Section 10.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+from ..graph.degree import lambda_balance, moment
+
+__all__ = ["balance_report", "claim_10_1_prediction"]
+
+
+def claim_10_1_prediction(n: int, alpha: float) -> float:
+    """λ = n^{α/2 - 1} — the claim's growth rate (constant dropped)."""
+    if not (1.0 < alpha < 2.0):
+        raise ValueError("alpha must be in (1, 2)")
+    return float(n ** (alpha / 2.0 - 1.0))
+
+
+def balance_report(degrees: np.ndarray, alpha: float, max_power: int = 3) -> Dict[str, float]:
+    """Empirical λ vs the Claim 10.1 prediction for one sequence."""
+    d = np.asarray(degrees, dtype=np.float64)
+    n = len(d)
+    lam = lambda_balance(d, max_power=max_power)
+    predicted = claim_10_1_prediction(n, alpha)
+    return {
+        "n": float(n),
+        "alpha": alpha,
+        "lambda_empirical": lam,
+        "lambda_predicted": predicted,
+        "ratio": lam / predicted if predicted > 0 else float("inf"),
+        "second_moment": moment(d, 2),
+        "edges": d.sum() / 2.0,
+    }

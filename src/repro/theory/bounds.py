@@ -1,0 +1,81 @@
+"""Closed-form bounds of Theorem 9.1 and Lemma 9.8.
+
+These are the quantities the theory benchmark compares against the exact
+X(q)/Y(q) counts:
+
+* lower bound on ``E[Y(q)]``:  ``(1/q) (2m)^{3-q} (Σ d_u^2)^{q-2}``
+  (Lemma 9.5, up to the ``1-o(1)`` factor);
+* upper bound on ``E[X(q)]``:  ``C (2m)^{2-q} (Σ d_u^{2-1/(q-1)})^{q-1}``
+  (Lemma 9.6, with ``C`` left as 1 — shapes, not constants);
+* the power-law growth rates of Lemma 9.8:
+  ``E[Y(q)] = Ω(n^{α-1+(2-α)q/2})`` and, for ``α < 2 - 1/(q-1)``,
+  ``E[X(q)] = O(n^{1/2+(2-α)(q-1)/2})`` (else ``O(n log n)``).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from ..graph.degree import moment
+
+__all__ = [
+    "y_lower_bound",
+    "x_upper_bound",
+    "power_law_exponents",
+    "predicted_gap_exponent",
+]
+
+
+def y_lower_bound(degrees: np.ndarray, q: int) -> float:
+    """Lemma 9.5 lower bound on E[Y(q)] (dropping the 1-o(1) factor)."""
+    if q < 3:
+        raise ValueError("the analysis assumes q >= 3")
+    d = np.asarray(degrees, dtype=np.float64)
+    two_m = d.sum()
+    return (1.0 / q) * two_m ** (3 - q) * moment(d, 2) ** (q - 2)
+
+
+def x_upper_bound(degrees: np.ndarray, q: int, constant: float = 1.0) -> float:
+    """Lemma 9.6 upper bound on E[X(q)] (constant C configurable)."""
+    if q < 3:
+        raise ValueError("the analysis assumes q >= 3")
+    d = np.asarray(degrees, dtype=np.float64)
+    two_m = d.sum()
+    s = 2.0 - 1.0 / (q - 1)
+    return constant * two_m ** (2 - q) * moment(d, s) ** (q - 1)
+
+
+def power_law_exponents(alpha: float, q: int) -> Dict[str, float]:
+    """Growth-rate exponents of Lemma 9.8 for a truncated power law.
+
+    Returns ``{"y": e_y, "x": e_x, "x_is_nlogn": bool}`` where
+    ``E[Y(q)] = Ω(n^{e_y})`` and ``E[X(q)] = O(n^{e_x})`` (with
+    ``e_x = 1`` flagged as the ``n log n`` regime).
+    """
+    if not (1.0 < alpha < 2.0):
+        raise ValueError("alpha must be in (1, 2)")
+    if q < 3:
+        raise ValueError("q >= 3")
+    e_y = alpha - 1.0 + 0.5 * (2.0 - alpha) * q
+    threshold = 2.0 - 1.0 / (q - 1)
+    if alpha < threshold:
+        e_x = 0.5 + 0.5 * (2.0 - alpha) * (q - 1)
+        nlogn = False
+    else:
+        e_x = 1.0
+        nlogn = True
+    return {"y": e_y, "x": e_x, "x_is_nlogn": nlogn}
+
+
+def predicted_gap_exponent(alpha: float, q: int) -> float:
+    """Exponent of the predicted polynomial improvement Y(q)/X(q).
+
+    Corollary 9.9: for ``α < 2 - 1/(q-1)`` the ratio grows as
+    ``n^{(α-1)/2}``; in the ``n log n`` regime the gap exponent is
+    ``e_y - 1`` (log factors dropped).
+    """
+    exps = power_law_exponents(alpha, q)
+    return exps["y"] - exps["x"]

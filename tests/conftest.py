@@ -1,0 +1,43 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph, erdos_renyi
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def triangle_graph():
+    """K3."""
+    return Graph(3, [(0, 1), (1, 2), (0, 2)], name="K3")
+
+
+@pytest.fixture
+def square_graph():
+    """C4 as a data graph."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)], name="C4-data")
+
+
+@pytest.fixture
+def petersen_graph():
+    """The Petersen graph — vertex transitive, girth 5, many cycles."""
+    outer = [(i, (i + 1) % 5) for i in range(5)]
+    inner = [(5 + i, 5 + (i + 2) % 5) for i in range(5)]
+    spokes = [(i, 5 + i) for i in range(5)]
+    return Graph(10, outer + inner + spokes, name="petersen")
+
+
+@pytest.fixture
+def small_random_graph(rng):
+    return erdos_renyi(12, 0.3, rng, name="er12")
+
+
+def random_coloring_for(g: Graph, k: int, rng: np.random.Generator) -> np.ndarray:
+    return rng.integers(0, k, size=g.n, dtype=np.int64)

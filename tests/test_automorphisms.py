@@ -1,0 +1,67 @@
+"""Tests for automorphism counting (match -> subgraph conversion)."""
+
+import pytest
+
+from repro.query import (
+    QueryGraph,
+    automorphism_count,
+    cycle_query,
+    matches_to_subgraphs,
+    paper_query,
+    path_query,
+    star_query,
+)
+
+
+class TestKnownGroups:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: cycle_query(3), 6),     # dihedral D3
+            (lambda: cycle_query(4), 8),     # D4
+            (lambda: cycle_query(5), 10),    # D5
+            (lambda: cycle_query(6), 12),    # D6
+            (lambda: path_query(2), 2),
+            (lambda: path_query(3), 2),
+            (lambda: path_query(4), 2),
+            (lambda: star_query(3), 6),      # 3! leaf permutations
+            (lambda: star_query(4), 24),
+        ],
+    )
+    def test_values(self, builder, expected):
+        assert automorphism_count(builder()) == expected
+
+    def test_complete_graph(self):
+        k4 = QueryGraph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert automorphism_count(k4) == 24
+
+    def test_single_node(self):
+        assert automorphism_count(QueryGraph([], nodes=[0])) == 1
+
+    def test_tailed_triangle(self):
+        # triangle with a tail of length 2: identity + the 0<->1 swap
+        q = QueryGraph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+        assert automorphism_count(q) == 2
+
+    def test_asymmetric_query(self):
+        # triangle with tails of different lengths: only the identity
+        q = QueryGraph([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (0, 5)])
+        assert automorphism_count(q) == 1
+
+    def test_diamond(self):
+        q = paper_query("glet2")
+        assert automorphism_count(q) == 4  # swap degree-2 pair x swap degree-3 pair
+
+
+class TestConversion:
+    def test_matches_to_subgraphs(self):
+        c4 = cycle_query(4)
+        assert matches_to_subgraphs(80, c4) == pytest.approx(10.0)
+
+    def test_triangle_in_k3(self, triangle_graph):
+        from repro.counting import count_matches
+
+        c3 = cycle_query(3)
+        matches = count_matches(triangle_graph, c3)
+        assert matches == 6  # 3! injective mappings
+        assert matches_to_subgraphs(matches, c3) == pytest.approx(1.0)

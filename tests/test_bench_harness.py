@@ -1,0 +1,76 @@
+"""Tests for the benchmark harness utilities."""
+
+import os
+
+import pytest
+
+from repro.bench import (
+    Timer,
+    bench_scale,
+    format_table,
+    geometric_mean,
+    grid_graph_names,
+    grid_query_names,
+)
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        rows = [{"a": 1, "b": "x"}, {"a": 22, "b": "yy"}]
+        text = format_table(rows, title="T")
+        lines = text.splitlines()
+        assert lines[0] == "== T =="
+        assert "a" in lines[1] and "b" in lines[1]
+        assert "22" in text
+
+    def test_empty_rows(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_float_formatting(self):
+        text = format_table([{"x": 0.123456}], floatfmt=".2f")
+        assert "0.12" in text
+
+    def test_column_selection(self):
+        text = format_table([{"a": 1, "b": 2}], columns=["b"])
+        assert "a" not in text.splitlines()[0]
+
+    def test_missing_cells_blank(self):
+        text = format_table([{"a": 1}, {"a": 2, "b": 3}], columns=["a", "b"])
+        assert "3" in text
+
+
+class TestScaleKnob:
+    def test_default_scale(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_SCALE", raising=False)
+        assert bench_scale() == 1.0
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "2.5")
+        assert bench_scale() == 2.5
+
+    def test_invalid_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "lots")
+        assert bench_scale() == 1.0
+
+    def test_light_grids(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "0.5")
+        assert len(grid_graph_names()) < 10
+        assert len(grid_query_names()) < 10
+
+    def test_full_grids(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_SCALE", "1.0")
+        assert len(grid_graph_names()) == 10
+        assert len(grid_query_names()) == 10
+
+
+class TestTimerAndStats:
+    def test_timer_measures(self):
+        t = Timer()
+        with t.measure():
+            sum(range(10000))
+        assert t.elapsed > 0
+
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 4]) == pytest.approx(2.0)
+        assert geometric_mean([]) == 0.0
+        assert geometric_mean([0, 2]) == pytest.approx(2.0)  # zeros skipped

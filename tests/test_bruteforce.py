@@ -1,0 +1,88 @@
+"""Tests for the brute-force reference counters (vs hand counts & networkx)."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.counting import count_colorful_matches, count_matches
+from repro.graph import Graph, erdos_renyi
+from repro.query import QueryGraph, cycle_query, path_query
+
+
+def to_nx(g: Graph) -> nx.Graph:
+    ng = nx.Graph()
+    ng.add_nodes_from(range(g.n))
+    ng.add_edges_from(g.edges())
+    return ng
+
+
+def query_to_nx(q: QueryGraph) -> nx.Graph:
+    ng = nx.Graph()
+    ng.add_nodes_from(q.nodes())
+    ng.add_edges_from(q.edges())
+    return ng
+
+
+def nx_match_count(g: Graph, q: QueryGraph) -> int:
+    """Count monomorphisms (non-induced subgraph matches) with networkx."""
+    gm = nx.algorithms.isomorphism.GraphMatcher(to_nx(g), query_to_nx(q))
+    return sum(1 for _ in gm.subgraph_monomorphisms_iter())
+
+
+class TestHandCounts:
+    def test_triangle_in_triangle(self, triangle_graph):
+        assert count_matches(triangle_graph, cycle_query(3)) == 6
+
+    def test_edge_in_triangle(self, triangle_graph):
+        assert count_matches(triangle_graph, path_query(2)) == 6  # 3 edges x 2 dirs
+
+    def test_c4_in_square(self, square_graph):
+        assert count_matches(square_graph, cycle_query(4)) == 8  # 4 rotations x 2
+
+    def test_triangle_in_square(self, square_graph):
+        assert count_matches(square_graph, cycle_query(3)) == 0
+
+    def test_p3_in_square(self, square_graph):
+        assert count_matches(square_graph, path_query(3)) == 8
+
+    def test_c5_in_petersen(self, petersen_graph):
+        # Petersen has 12 pentagons; each counted aut(C5)=10 times as a match
+        assert count_matches(petersen_graph, cycle_query(5)) == 120
+
+    def test_single_node_query(self, petersen_graph):
+        q = QueryGraph([], nodes=[0])
+        assert count_matches(petersen_graph, q) == 10
+
+
+class TestAgainstNetworkx:
+    @pytest.mark.parametrize("qbuilder", [
+        lambda: cycle_query(3),
+        lambda: cycle_query(4),
+        lambda: path_query(4),
+        lambda: QueryGraph([(0, 1), (1, 2), (2, 0), (2, 3)]),  # tailed triangle
+    ])
+    def test_random_graphs(self, qbuilder, rng):
+        q = qbuilder()
+        for _ in range(3):
+            g = erdos_renyi(9, 0.4, rng)
+            assert count_matches(g, q) == nx_match_count(g, q)
+
+
+class TestColorful:
+    def test_all_same_color_gives_zero(self, triangle_graph):
+        colors = np.zeros(3, dtype=np.int64)
+        assert count_colorful_matches(triangle_graph, cycle_query(3), colors) == 0
+
+    def test_rainbow_coloring_counts_all(self, triangle_graph):
+        colors = np.array([0, 1, 2])
+        assert count_colorful_matches(triangle_graph, cycle_query(3), colors) == 6
+
+    def test_colorful_at_most_total(self, rng):
+        g = erdos_renyi(10, 0.4, rng)
+        q = cycle_query(4)
+        colors = rng.integers(0, 4, size=g.n)
+        assert count_colorful_matches(g, q, colors) <= count_matches(g, q)
+
+    def test_coloring_length_mismatch(self, triangle_graph):
+        with pytest.raises(ValueError):
+            count_colorful_matches(triangle_graph, cycle_query(3), [0, 1])

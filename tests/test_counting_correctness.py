@@ -1,0 +1,148 @@
+"""The correctness spine: brute force == PS == DB on randomized inputs.
+
+Every fixture query (the ten Figure 8 queries, the Satellite query of
+Figure 2, cycles, trees) is counted on random graphs under random
+colorings by the brute-force reference, the PS baseline and the DB
+algorithm — all three must agree exactly, for every decomposition plan.
+"""
+
+import numpy as np
+import pytest
+
+from repro.counting import (
+    count_colorful_db,
+    count_colorful_matches,
+    count_colorful_ps,
+)
+from repro.decomposition import enumerate_plans
+from repro.graph import Graph, erdos_renyi, ring_of_cliques
+from repro.query import all_fixture_queries, cycle_query, paper_queries, satellite
+
+FIXTURES = {q.name: q for q in all_fixture_queries()}
+
+
+def _check(g, q, colors, plans=None):
+    expected = count_colorful_matches(g, q, colors)
+    plans = plans or [None]
+    for plan in plans:
+        assert count_colorful_ps(g, q, colors, plan=plan) == expected
+        assert count_colorful_db(g, q, colors, plan=plan) == expected
+    return expected
+
+
+class TestPaperQueriesAgainstBruteForce:
+    @pytest.mark.parametrize("name", sorted(paper_queries()))
+    def test_on_random_graphs(self, name, rng):
+        q = paper_queries()[name]
+        nonzero_seen = False
+        for trial in range(4):
+            g = erdos_renyi(10, 0.45, rng)
+            colors = rng.integers(0, q.k, size=g.n)
+            if _check(g, q, colors) > 0:
+                nonzero_seen = True
+        # at least the small queries should find matches somewhere
+        if q.k <= 6:
+            assert nonzero_seen, f"{name}: never matched; test too weak"
+
+
+class TestSatellite:
+    def test_satellite_all_plans(self, rng):
+        q = satellite()
+        g = erdos_renyi(9, 0.55, rng)
+        colors = rng.integers(0, q.k, size=g.n)
+        plans = enumerate_plans(q)
+        assert len(plans) >= 2
+        _check(g, q, colors, plans=plans)
+
+
+class TestCycles:
+    @pytest.mark.parametrize("length", [3, 4, 5, 6, 7])
+    def test_cycle_queries(self, length, rng):
+        q = cycle_query(length)
+        g = erdos_renyi(11, 0.4, rng)
+        colors = rng.integers(0, length, size=g.n)
+        _check(g, q, colors)
+
+    def test_cycle_on_structured_graph(self, rng):
+        g = ring_of_cliques(4, 4)
+        for length in (3, 4, 5):
+            q = cycle_query(length)
+            colors = rng.integers(0, length, size=g.n)
+            _check(g, q, colors)
+
+    def test_c4_exact_on_square(self, square_graph):
+        q = cycle_query(4)
+        colors = np.array([0, 1, 2, 3])
+        assert count_colorful_ps(square_graph, q, colors) == 8
+        assert count_colorful_db(square_graph, q, colors) == 8
+
+
+class TestTreesViaBlocks:
+    @pytest.mark.parametrize("name", ["P4", "S3", "cbt2"])
+    def test_tree_queries(self, name, rng):
+        q = FIXTURES[name]
+        g = erdos_renyi(11, 0.35, rng)
+        colors = rng.integers(0, q.k, size=g.n)
+        _check(g, q, colors)
+
+
+class TestEdgeCases:
+    def test_single_node_query(self, petersen_graph):
+        from repro.query import QueryGraph
+
+        q = QueryGraph([], nodes=["z"])
+        colors = np.zeros(10, dtype=np.int64)
+        assert count_colorful_ps(petersen_graph, q, colors) == 10
+        assert count_colorful_db(petersen_graph, q, colors) == 10
+
+    def test_single_edge_query(self, triangle_graph):
+        from repro.query import QueryGraph
+
+        q = QueryGraph([("a", "b")])
+        colors = np.array([0, 1, 1])
+        # ordered adjacent pairs with distinct colors: (0,1),(1,0),(0,2),(2,0)
+        assert count_colorful_ps(triangle_graph, q, colors) == 4
+        assert count_colorful_db(triangle_graph, q, colors) == 4
+
+    def test_empty_data_graph(self):
+        g = Graph(5, [])
+        q = cycle_query(3)
+        colors = np.zeros(5, dtype=np.int64)
+        assert count_colorful_db(g, q, colors) == 0
+
+    def test_query_larger_than_graph(self, triangle_graph):
+        q = cycle_query(5)
+        colors = np.array([0, 1, 2])
+        assert count_colorful_db(triangle_graph, q, colors) == 0
+
+    def test_monochromatic_coloring_zero(self, petersen_graph):
+        q = cycle_query(5)
+        colors = np.zeros(10, dtype=np.int64)
+        assert count_colorful_db(petersen_graph, q, colors) == 0
+        assert count_colorful_ps(petersen_graph, q, colors) == 0
+
+    def test_invalid_colors_rejected(self, triangle_graph):
+        q = cycle_query(3)
+        with pytest.raises(ValueError, match="colors"):
+            count_colorful_db(triangle_graph, q, np.array([0, 1, 5]))
+
+    def test_coloring_wrong_length(self, triangle_graph):
+        q = cycle_query(3)
+        with pytest.raises(ValueError):
+            count_colorful_db(triangle_graph, q, np.array([0, 1]))
+
+
+class TestAllPlansAgree:
+    """Different decomposition trees of the same query count identically."""
+
+    @pytest.mark.parametrize("name", ["wiki", "ecoli1", "ecoli2", "brain1", "youtube"])
+    def test_plan_independence(self, name, rng):
+        q = paper_queries()[name]
+        g = erdos_renyi(10, 0.5, rng)
+        colors = rng.integers(0, q.k, size=g.n)
+        plans = enumerate_plans(q)
+        counts = set()
+        for plan in plans:
+            counts.add(count_colorful_ps(g, q, colors, plan=plan))
+            counts.add(count_colorful_db(g, q, colors, plan=plan))
+        assert len(counts) == 1

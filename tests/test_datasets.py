@@ -1,0 +1,57 @@
+"""Tests for the Table 1 dataset stand-ins."""
+
+import pytest
+
+from repro.bench import PAPER_TABLE1, all_datasets, dataset, dataset_names
+from repro.graph.properties import is_connected
+
+
+class TestDatasetRegistry:
+    def test_ten_datasets(self):
+        assert len(dataset_names()) == 10
+        assert set(dataset_names()) == set(PAPER_TABLE1)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError, match="unknown dataset"):
+            dataset("facebook")
+
+    def test_datasets_cached(self):
+        assert dataset("condmat") is dataset("condmat")
+
+    def test_deterministic(self):
+        # cache-independent determinism: clear and rebuild
+        g1 = dataset("enron")
+        dataset.cache_clear()
+        g2 = dataset("enron")
+        assert g1 == g2
+
+
+class TestDatasetShapes:
+    def test_all_connected(self):
+        for name, g in all_datasets().items():
+            assert is_connected(g), name
+
+    def test_sizes_reasonable(self):
+        for name, g in all_datasets().items():
+            assert 300 <= g.n <= 1300, name
+            assert g.m >= g.n * 0.9, name
+
+    def test_skew_ordering_matches_paper(self):
+        """The core property the substitution must preserve: social
+        networks are skewed, the road network is not."""
+        skew = {name: g.degree_skew() for name, g in all_datasets().items()}
+        assert skew["roadnetca"] < 3
+        for social in ("epinions", "enron", "slashdot", "orkut", "brightkite"):
+            assert skew[social] > 10, social
+        # epinions is the most skewed social network in the paper
+        assert skew["epinions"] > skew["condmat"]
+        assert skew["epinions"] > skew["astroph"]
+
+    def test_road_network_low_max_degree(self):
+        g = dataset("roadnetca")
+        assert g.max_degree() <= 10  # paper: 14
+
+    def test_paper_stats_attached(self):
+        stats = PAPER_TABLE1["epinions"]
+        assert stats["max_deg"] == 3558
+        assert stats["nodes"] == 131_000

@@ -1,0 +1,163 @@
+"""Tests for blocks, contraction and decomposition-tree construction."""
+
+import pytest
+
+from repro.decomposition import (
+    CYCLE,
+    LEAF,
+    SINGLETON,
+    ContractionState,
+    DecompositionError,
+    build_decomposition,
+    contract,
+    enumerate_plans,
+    find_candidate_blocks,
+)
+from repro.query import (
+    QueryGraph,
+    cycle_query,
+    diamond,
+    paper_queries,
+    path_query,
+    satellite,
+    star_query,
+)
+
+
+class TestCandidateDiscovery:
+    def test_cycle_query_one_candidate(self):
+        state = ContractionState(cycle_query(5))
+        cands = find_candidate_blocks(state)
+        cycles = [c for c in cands if c.kind == CYCLE]
+        assert len(cycles) == 1
+        assert len(cycles[0].boundary) == 0
+
+    def test_path_query_two_leaf_candidates(self):
+        state = ContractionState(path_query(4))
+        cands = find_candidate_blocks(state)
+        assert all(c.kind == LEAF for c in cands)
+        assert len(cands) == 2  # both endpoints
+
+    def test_diamond_triangles_contractible(self):
+        state = ContractionState(diamond())
+        cands = find_candidate_blocks(state)
+        cycles = [c for c in cands if c.kind == CYCLE]
+        # the two triangles are induced with 2 boundary nodes; the square
+        # 0-1-2-3 has the 0-2 chord so is not induced
+        assert len(cycles) == 2
+        assert all(len(c.nodes) == 3 for c in cycles)
+
+    def test_satellite_candidates_match_figure_2(self):
+        state = ContractionState(satellite())
+        cands = find_candidate_blocks(state)
+        kinds = {}
+        for c in cands:
+            kinds.setdefault(c.kind, []).append(c)
+        # leaf edge (f, h)
+        assert any(c.nodes == ("f", "h") for c in kinds[LEAF])
+        cycle_sets = [frozenset(c.nodes) for c in kinds[CYCLE]]
+        # the 5-cycle and the triangle are contractible
+        assert frozenset("abcde") in cycle_sets
+        assert frozenset("ijk") in cycle_sets
+        # the (i, f, g) cycle has three boundary nodes: not contractible
+        assert frozenset("ifg") not in cycle_sets
+
+
+class TestContraction:
+    def test_leaf_contraction_annotates_boundary(self):
+        state = ContractionState(path_query(3))
+        cand = next(
+            c for c in find_candidate_blocks(state) if c.nodes == (1, 0)
+        )
+        block = contract(state, cand)
+        assert block.kind == LEAF
+        assert state.num_nodes() == 2
+        assert state.node_ann[1] is block
+
+    def test_two_boundary_cycle_adds_annotated_edge(self):
+        # 4-cycle with pendant edges on opposite corners
+        q = QueryGraph([(0, 1), (1, 2), (2, 3), (3, 0), (0, 8), (2, 9)])
+        state = ContractionState(q)
+        cand = next(c for c in find_candidate_blocks(state) if c.kind == CYCLE)
+        assert tuple(sorted(cand.boundary)) == (0, 2)
+        block = contract(state, cand)
+        assert frozenset((0, 2)) in state.edge_ann
+        assert state.edge_ann[frozenset((0, 2))] is block
+        assert 1 not in state.adj and 3 not in state.adj
+
+    def test_annotation_inheritance(self):
+        # star: successive leaves absorb prior annotations (chain)
+        state = ContractionState(star_query(2))
+        first = next(c for c in find_candidate_blocks(state) if c.nodes == (0, 1))
+        b1 = contract(state, first)
+        second = next(c for c in find_candidate_blocks(state) if c.nodes == (0, 2))
+        b2 = contract(state, second)
+        assert b2.node_ann[0] is b1  # b1 became the child of b2
+
+
+class TestBuildDecomposition:
+    def test_pure_cycle_root(self):
+        plan = build_decomposition(cycle_query(6))
+        assert plan.root.kind == CYCLE
+        assert plan.root.boundary == ()
+
+    def test_tree_query_all_leaf_blocks(self):
+        plan = build_decomposition(path_query(5))
+        kinds = {b.kind for b in plan.blocks()}
+        assert kinds == {LEAF, SINGLETON}
+
+    def test_single_node_query(self):
+        plan = build_decomposition(QueryGraph([], nodes=["a"]))
+        assert plan.root.kind == SINGLETON
+        assert not plan.root.node_ann
+
+    def test_single_edge_query(self):
+        plan = build_decomposition(QueryGraph([("a", "b")]))
+        assert plan.root.kind == SINGLETON
+        assert len(plan.root.node_ann) == 1
+
+    def test_rejects_treewidth_3(self):
+        k4 = QueryGraph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        with pytest.raises(DecompositionError, match="treewidth"):
+            build_decomposition(k4)
+
+    def test_rejects_disconnected(self):
+        with pytest.raises(DecompositionError, match="connected"):
+            build_decomposition(QueryGraph([(0, 1), (2, 3)]))
+
+    def test_every_query_node_in_exactly_one_block(self):
+        for name, q in paper_queries().items():
+            plan = build_decomposition(q)
+            covered = plan.root.subquery_nodes()
+            assert covered == set(q.nodes()), name
+
+    def test_satellite_structure(self):
+        plan = build_decomposition(satellite())
+        cycles = sorted(b.length for b in plan.cycle_blocks())
+        # Figure 2: 5-cycle, triangle, 4-cycle (a,f,g,c), root cycle (i,f,g)
+        assert cycles == [3, 3, 4, 5]
+
+    def test_blocks_bottom_up_order(self):
+        plan = build_decomposition(satellite())
+        blocks = plan.blocks()
+        seen = set()
+        for b in blocks:
+            for child in b.children():
+                assert id(child) in seen
+            seen.add(id(b))
+
+
+class TestPlanMetrics:
+    def test_longest_cycle(self):
+        plan = build_decomposition(cycle_query(7))
+        assert plan.longest_cycle() == 7
+
+    def test_tree_plan_has_no_cycles(self):
+        plan = build_decomposition(star_query(4))
+        assert plan.longest_cycle() == 0
+
+    def test_heuristic_key_ordering(self):
+        plans = enumerate_plans(paper_queries()["brain1"])
+        keys = [p.heuristic_key() for p in plans]
+        assert len(set(keys)) >= 1
+        assert all(k[0] == 6 for k in keys)  # both plans keep the 6-cycle intact

@@ -1,0 +1,108 @@
+"""Repository-hygiene tests: docs exist, public API is importable/documented."""
+
+import importlib
+import inspect
+import os
+
+import pytest
+
+import repro
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+SUBPACKAGES = [
+    "repro.graph",
+    "repro.query",
+    "repro.decomposition",
+    "repro.tables",
+    "repro.counting",
+    "repro.distributed",
+    "repro.theory",
+    "repro.motifs",
+    "repro.bench",
+]
+
+
+class TestDocumentsExist:
+    @pytest.mark.parametrize(
+        "fname",
+        ["README.md", "DESIGN.md", "EXPERIMENTS.md", "LICENSE",
+         "docs/ALGORITHMS.md", "docs/API.md"],
+    )
+    def test_file_present_and_nonempty(self, fname):
+        path = os.path.join(REPO_ROOT, fname)
+        assert os.path.exists(path), fname
+        assert os.path.getsize(path) > 200, fname
+
+    def test_design_covers_every_figure(self):
+        text = open(os.path.join(REPO_ROOT, "DESIGN.md"), encoding="utf-8").read()
+        for fig in ["Table 1", "Fig 8", "Fig 9", "Fig 10", "Fig 11",
+                    "Fig 12", "Fig 13", "Fig 14", "Fig 15"]:
+            assert fig in text, fig
+
+    def test_experiments_covers_every_figure(self):
+        text = open(os.path.join(REPO_ROOT, "EXPERIMENTS.md"), encoding="utf-8").read()
+        for fig in ["Table 1", "Figure 8", "Figure 9", "Figure 10",
+                    "Figure 11", "Figure 12", "Figure 13", "Figure 14",
+                    "Figure 15", "Section 9"]:
+            assert fig in text, fig
+
+
+class TestPublicApi:
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_subpackage_imports(self, modname):
+        mod = importlib.import_module(modname)
+        assert mod.__doc__, f"{modname} missing a module docstring"
+        assert hasattr(mod, "__all__"), f"{modname} missing __all__"
+
+    @pytest.mark.parametrize("modname", SUBPACKAGES)
+    def test_all_exports_exist_and_documented(self, modname):
+        mod = importlib.import_module(modname)
+        for name in mod.__all__:
+            obj = getattr(mod, name, None)
+            assert obj is not None, f"{modname}.{name} exported but missing"
+            if inspect.isfunction(obj) or inspect.isclass(obj):
+                assert obj.__doc__, f"{modname}.{name} lacks a docstring"
+
+    def test_top_level_exports(self):
+        for name in repro.__all__:
+            assert getattr(repro, name, None) is not None, name
+
+    def test_version_string(self):
+        assert repro.__version__.count(".") == 2
+
+
+class TestExamplesPresent:
+    def test_at_least_five_examples(self):
+        examples = os.path.join(REPO_ROOT, "examples")
+        scripts = [f for f in os.listdir(examples) if f.endswith(".py")]
+        assert len(scripts) >= 5
+        assert "quickstart.py" in scripts
+
+    def test_examples_have_docstrings(self):
+        examples = os.path.join(REPO_ROOT, "examples")
+        for fname in os.listdir(examples):
+            if fname.endswith(".py"):
+                text = open(os.path.join(examples, fname), encoding="utf-8").read()
+                assert text.lstrip().startswith(('"""', "#!")), fname
+
+
+class TestBenchCoverage:
+    def test_one_bench_per_figure(self):
+        benches = os.listdir(os.path.join(REPO_ROOT, "benchmarks"))
+        expected = [
+            "bench_table1_graphs.py",
+            "bench_fig8_queries.py",
+            "bench_fig9_runtime.py",
+            "bench_fig10_improvement.py",
+            "bench_fig11_load.py",
+            "bench_fig12_speedup.py",
+            "bench_fig13_scaling.py",
+            "bench_fig14_heuristic.py",
+            "bench_fig15_precision.py",
+            "bench_theory_xy.py",
+            "bench_ablation.py",
+            "bench_extension_colors.py",
+        ]
+        for fname in expected:
+            assert fname in benches, fname

@@ -1,0 +1,81 @@
+"""Tests for plan enumeration and the Section 6 heuristic planner."""
+
+import pytest
+
+from repro.decomposition import (
+    build_decomposition,
+    choose_plan,
+    count_plans,
+    enumerate_plans,
+    heuristic_plan,
+    rank_plans,
+)
+from repro.query import QueryGraph, cycle_query, paper_queries, paper_query, path_query, satellite
+
+
+class TestEnumeration:
+    def test_cycle_has_single_plan(self):
+        assert count_plans(cycle_query(5)) == 1
+
+    def test_brain1_two_plans(self):
+        assert count_plans(paper_query("brain1")) == 2
+
+    def test_path_plans_are_leaf_orderings(self):
+        # P3 = a-b-c: contract either endpoint first (2 ways), then the
+        # remaining edge in either direction (2 ways) -> 4 distinct chains
+        assert count_plans(path_query(3)) == 4
+
+    def test_all_plans_structurally_distinct(self):
+        plans = enumerate_plans(paper_query("ecoli2"))
+        sigs = [p.signature() for p in plans]
+        assert len(sigs) == len(set(sigs))
+
+    def test_enumeration_limit(self):
+        from repro.query import star_query
+
+        with pytest.raises(RuntimeError, match="expansions"):
+            enumerate_plans(star_query(9), limit=10)
+
+    def test_rejects_treewidth_3(self):
+        k4 = QueryGraph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        from repro.decomposition import DecompositionError
+
+        with pytest.raises(DecompositionError):
+            enumerate_plans(k4)
+
+    def test_every_paper_query_enumerable(self):
+        for name, q in paper_queries().items():
+            plans = enumerate_plans(q)
+            assert len(plans) >= 1, name
+
+    def test_satellite_multi_plan(self):
+        assert count_plans(satellite()) >= 2
+
+
+class TestPlanner:
+    def test_choose_plan_minimizes_key(self):
+        for name, q in paper_queries().items():
+            best = choose_plan(q)
+            plans = enumerate_plans(q)
+            assert best.heuristic_key() == min(p.heuristic_key() for p in plans), name
+
+    def test_rank_plans_sorted(self):
+        plans = enumerate_plans(paper_query("ecoli1"))
+        ranked = rank_plans(plans)
+        keys = [p.heuristic_key() for p in ranked]
+        assert keys == sorted(keys)
+
+    def test_heuristic_plan_fallback(self):
+        # a star large enough to trip the enumeration cap still gets a plan
+        from repro.query import star_query
+
+        plan = heuristic_plan(star_query(9), limit=10)
+        assert plan.root is not None
+
+    def test_heuristic_prefers_shorter_cycles(self):
+        # theta graph: 3 plans with different longest cycles; heuristic
+        # should avoid leaving the longest cycle for last when possible
+        theta = QueryGraph([(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 5), (5, 1)])
+        best = choose_plan(theta)
+        plans = enumerate_plans(theta)
+        assert best.longest_cycle() == min(p.longest_cycle() for p in plans)

@@ -1,0 +1,112 @@
+"""Tests for the random-graph generators."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    chung_lu,
+    chung_lu_power_law,
+    erdos_renyi,
+    grid_road_network,
+    random_tree,
+    ring_of_cliques,
+    rmat,
+)
+from repro.graph.degree import truncated_power_law_sequence, zipf_degree_sequence
+
+
+class TestErdosRenyi:
+    def test_p_zero_empty(self, rng):
+        g = erdos_renyi(20, 0.0, rng)
+        assert g.m == 0
+
+    def test_p_one_complete(self, rng):
+        g = erdos_renyi(10, 1.0, rng)
+        assert g.m == 45
+
+    def test_edge_count_concentrates(self, rng):
+        g = erdos_renyi(100, 0.2, rng)
+        expected = 0.2 * 100 * 99 / 2
+        assert abs(g.m - expected) < 0.25 * expected
+
+    def test_invalid_p(self, rng):
+        with pytest.raises(ValueError):
+            erdos_renyi(5, 1.5, rng)
+
+
+class TestChungLu:
+    def test_respects_expected_degrees(self, rng):
+        n = 400
+        degrees = np.full(n, 6.0)
+        g = chung_lu(degrees, rng)
+        assert abs(g.avg_degree() - 6.0) < 1.5
+
+    def test_zero_degrees(self, rng):
+        g = chung_lu(np.zeros(5), rng)
+        assert g.m == 0
+
+    def test_power_law_variant_is_skewed(self, rng):
+        g = chung_lu_power_law(500, 1.5, rng)
+        assert g.degree_skew() > 2.0
+
+    def test_deterministic_given_seed(self):
+        a = chung_lu(np.full(50, 4.0), np.random.default_rng(7))
+        b = chung_lu(np.full(50, 4.0), np.random.default_rng(7))
+        assert a == b
+
+
+class TestRmat:
+    def test_size(self, rng):
+        g = rmat(8, 4, rng)
+        assert g.n == 256
+        # dedupe/self-loop removal shrinks below the target
+        assert 0 < g.m <= 4 * 256
+
+    def test_skewed_by_default(self, rng):
+        g = rmat(9, 8, rng)
+        assert g.degree_skew() > 3.0
+
+    def test_invalid_probabilities(self, rng):
+        with pytest.raises(ValueError):
+            rmat(5, 4, rng, a=0.9, b=0.2, c=0.2, d=0.2)
+
+
+class TestStructuredGenerators:
+    def test_grid_low_skew(self, rng):
+        g = grid_road_network(20, 20, rng, rewire_prob=0.0)
+        assert g.n == 400
+        assert g.max_degree() <= 4
+
+    def test_grid_edge_count(self, rng):
+        g = grid_road_network(5, 5, rng, rewire_prob=0.0)
+        assert g.m == 2 * 5 * 4  # 2 * rows * (cols-1)
+
+    def test_random_tree_is_tree(self, rng):
+        g = random_tree(30, rng)
+        assert g.m == 29
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 6 + 3
+
+
+class TestDegreeSequences:
+    def test_truncated_power_law_length(self, rng):
+        seq = truncated_power_law_sequence(256, 1.5, rng=rng)
+        assert len(seq) == 256
+        assert seq.min() >= 1
+        assert seq.max() <= 16  # sqrt(256)
+
+    def test_truncated_power_law_rejects_bad_alpha(self):
+        with pytest.raises(ValueError):
+            truncated_power_law_sequence(100, 2.5)
+
+    def test_zipf_sequence_hits_average(self, rng):
+        seq = zipf_degree_sequence(500, 2.0, 6.0, max_degree=100)
+        assert abs(seq.mean() - 6.0) < 1.0
+        assert seq.max() <= 100
+
+    def test_zipf_sequence_skewed(self):
+        seq = zipf_degree_sequence(500, 1.9, 4.0, max_degree=120)
+        assert seq.max() / seq.mean() > 10

@@ -1,0 +1,121 @@
+"""Unit tests for the CSR graph substrate."""
+
+import numpy as np
+import pytest
+
+from repro.graph import Graph
+
+
+class TestConstruction:
+    def test_empty_graph(self):
+        g = Graph(0, [])
+        assert g.n == 0
+        assert g.m == 0
+
+    def test_isolated_vertices(self):
+        g = Graph(5, [])
+        assert g.n == 5
+        assert g.m == 0
+        assert all(g.degree(u) == 0 for u in range(5))
+
+    def test_single_edge(self):
+        g = Graph(2, [(0, 1)])
+        assert g.m == 1
+        assert g.has_edge(0, 1)
+        assert g.has_edge(1, 0)
+
+    def test_edge_normalisation(self):
+        g = Graph(3, [(2, 0)])
+        assert list(g.edges()) == [(0, 2)]
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self loop"):
+            Graph(2, [(1, 1)])
+
+    def test_rejects_duplicate_edge(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Graph(3, [(0, 1), (1, 0)])
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError, match="out of range"):
+            Graph(2, [(0, 5)])
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            Graph(-1, [])
+
+    def test_from_edge_array(self):
+        arr = np.array([[0, 1], [1, 2]])
+        g = Graph.from_edge_array(3, arr)
+        assert g.m == 2
+
+
+class TestQueries:
+    def test_neighbors_sorted(self, triangle_graph):
+        assert list(triangle_graph.neighbors(0)) == [1, 2]
+
+    def test_degrees(self, petersen_graph):
+        assert all(petersen_graph.degree(u) == 3 for u in range(10))
+
+    def test_has_edge_false(self, square_graph):
+        assert not square_graph.has_edge(0, 2)
+
+    def test_edges_each_once(self, triangle_graph):
+        assert sorted(triangle_graph.edges()) == [(0, 1), (0, 2), (1, 2)]
+
+    def test_edge_array_shape(self, petersen_graph):
+        arr = petersen_graph.edge_array()
+        assert arr.shape == (15, 2)
+        assert (arr[:, 0] < arr[:, 1]).all()
+
+    def test_avg_degree(self, triangle_graph):
+        assert triangle_graph.avg_degree() == pytest.approx(2.0)
+
+    def test_max_degree(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3)])
+        assert g.max_degree() == 3
+        assert g.degree_skew() == pytest.approx(3 / 1.5)
+
+
+class TestDegreeOrdering:
+    def test_rank_is_permutation(self, petersen_graph):
+        rank = petersen_graph.degree_order_rank()
+        assert sorted(rank) == list(range(10))
+
+    def test_higher_degree_is_higher(self):
+        g = Graph(4, [(0, 1), (0, 2), (0, 3), (1, 2)])
+        # degrees: 0 -> 3, 1 -> 2, 2 -> 2, 3 -> 1
+        assert g.is_higher(0, 1)
+        assert g.is_higher(0, 3)
+        assert g.is_higher(1, 3)
+
+    def test_tie_broken_by_id(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])  # all degree 2
+        assert g.is_higher(2, 1)
+        assert g.is_higher(1, 0)
+        assert not g.is_higher(0, 2)
+
+    def test_total_order(self, small_random_graph):
+        g = small_random_graph
+        for u in range(g.n):
+            for v in range(g.n):
+                if u != v:
+                    assert g.is_higher(u, v) != g.is_higher(v, u)
+
+    def test_rank_cached(self, triangle_graph):
+        r1 = triangle_graph.degree_order_rank()
+        r2 = triangle_graph.degree_order_rank()
+        assert r1 is r2
+
+
+class TestEquality:
+    def test_equal_graphs(self):
+        a = Graph(3, [(0, 1), (1, 2)])
+        b = Graph(3, [(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_unequal_graphs(self):
+        a = Graph(3, [(0, 1)])
+        b = Graph(3, [(0, 2)])
+        assert a != b

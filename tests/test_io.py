@@ -1,0 +1,34 @@
+"""Tests for edge-list I/O."""
+
+import pytest
+
+from repro.graph import Graph, read_edge_list, write_edge_list
+
+
+class TestRoundTrip:
+    def test_roundtrip(self, tmp_path, petersen_graph):
+        path = str(tmp_path / "g.txt")
+        write_edge_list(petersen_graph, path)
+        g2 = read_edge_list(path)
+        assert g2 == petersen_graph
+
+    def test_roundtrip_with_isolated(self, tmp_path):
+        g = Graph(5, [(0, 1)])
+        path = str(tmp_path / "iso.txt")
+        write_edge_list(g, path)
+        g2 = read_edge_list(path)
+        assert g2.n == 5  # header preserves isolated vertices
+        assert g2.m == 1
+
+
+class TestRawSnapFormat:
+    def test_reads_duplicates_and_comments(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("# comment\n0 1\n1 0\n1 2\n2 2\n")
+        g = read_edge_list(str(path))
+        assert g.n == 3
+        assert g.m == 2  # duplicate and self loop dropped
+
+    def test_missing_file(self):
+        with pytest.raises(FileNotFoundError):
+            read_edge_list("/nonexistent/file.txt")

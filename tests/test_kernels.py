@@ -1,0 +1,173 @@
+"""Unit tests for the join kernels (path building, node joins, merges)."""
+
+import numpy as np
+import pytest
+
+from repro.counting.kernels import (
+    build_path_table,
+    merge_cycle_paths,
+    node_join_unary,
+    oriented_binary,
+)
+from repro.distributed import sequential_context
+from repro.graph import Graph
+from repro.tables import BinaryTable, PathTable, UnaryTable
+
+
+@pytest.fixture
+def path_graph():
+    """0-1-2-3 path with distinct colors 0..3."""
+    return Graph(4, [(0, 1), (1, 2), (2, 3)]), np.array([0, 1, 2, 3])
+
+
+class TestOrientedBinary:
+    def test_identity_orientation(self):
+        t = BinaryTable(("a", "b"))
+        cache = {}
+        assert oriented_binary(t, "a", "b", cache) is t
+        assert not cache
+
+    def test_transposed_orientation_cached(self):
+        t = BinaryTable(("a", "b"))
+        t.add(1, 2, 0b11, 7)
+        cache = {}
+        tt = oriented_binary(t, "b", "a", cache)
+        assert tt.data[(2, 1, 0b11)] == 7
+        assert oriented_binary(t, "b", "a", cache) is tt  # cached
+
+    def test_mismatched_boundary_raises(self):
+        t = BinaryTable(("a", "b"))
+        with pytest.raises(ValueError):
+            oriented_binary(t, "a", "c", {})
+
+
+class TestBuildPathTable:
+    def test_two_node_path_is_edge_table(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        t = build_path_table(g, colors, ("x", "y"), {}, {}, ctx)
+        # every directed edge with distinct endpoint colors: 3 edges x 2
+        assert t.total() == 6
+
+    def test_three_node_path(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        t = build_path_table(g, colors, ("x", "y", "z"), {}, {}, ctx)
+        # directed 3-vertex simple paths: 0-1-2, 1-2-3 and reverses -> 4
+        assert t.total() == 4
+
+    def test_high_constraint_prunes(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        t = build_path_table(g, colors, ("x", "y"), {}, {}, ctx, high=True)
+        # only edges whose start is higher: one direction each -> 3
+        assert t.total() == 3
+
+    def test_record_set_populates_extras(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        t = build_path_table(
+            g, colors, ("x", "y", "z"), {}, {}, ctx, record_set={"y"}
+        )
+        assert t.record_labels == ("y",)
+        for (u, v, extras, sig), cnt in t.items():
+            assert len(extras) == 1
+            assert g.has_edge(u, extras[0]) and g.has_edge(extras[0], v)
+
+    def test_monochromatic_edges_excluded(self):
+        g = Graph(2, [(0, 1)])
+        colors = np.array([0, 0])
+        ctx = sequential_context(g)
+        t = build_path_table(g, colors, ("x", "y"), {}, {}, ctx)
+        assert t.total() == 0
+
+    def test_rejects_single_label(self, path_graph):
+        g, colors = path_graph
+        with pytest.raises(ValueError):
+            build_path_table(g, colors, ("x",), {}, {}, sequential_context(g))
+
+    def test_edge_table_substitution(self, path_graph):
+        """An annotated edge replaces graph edges with a child table."""
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        child = BinaryTable(("x", "y"))
+        child.add(0, 1, 0b011, 5)  # pretend the child matched 5 ways
+        t = build_path_table(g, colors, ("x", "y"), {}, {0: child}, ctx)
+        assert t.total() == 5
+
+
+class TestNodeJoin:
+    def test_join_on_end(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        base = build_path_table(g, colors, ("x", "y"), {}, {}, ctx)
+        child = UnaryTable("y")
+        # annotation matched at vertex 1 using color {3} (+ its own color 1)
+        child.add(1, 0b1010, 2)
+        joined = node_join_unary(base, child, colors, on_start=False, ctx=ctx)
+        # base entries ending at 1: (0,1,{0,1}) and (2,1,{2,1});
+        # join requires sig overlap == {color(1)} = {1}: both qualify
+        assert joined.total() == 4
+
+    def test_join_on_start(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        base = build_path_table(g, colors, ("x", "y"), {}, {}, ctx)
+        child = UnaryTable("x")
+        child.add(0, 0b1001, 3)  # colors {0, 3}
+        joined = node_join_unary(base, child, colors, on_start=True, ctx=ctx)
+        # base entries starting at 0: only (0,1,{0,1}); overlap {0} ok
+        assert joined.total() == 3
+
+    def test_join_color_conflict_blocks(self, path_graph):
+        g, colors = path_graph
+        ctx = sequential_context(g)
+        base = build_path_table(g, colors, ("x", "y"), {}, {}, ctx)
+        child = UnaryTable("y")
+        child.add(1, 0b0011, 1)  # includes color 0 = color of vertex 0
+        joined = node_join_unary(base, child, colors, on_start=False, ctx=ctx)
+        # entry (0,1) blocked (color 0 reused); entry (2,1) fine
+        assert joined.total() == 1
+
+
+class TestMergeCyclePaths:
+    def test_triangle_merge(self):
+        g = Graph(3, [(0, 1), (1, 2), (0, 2)])
+        colors = np.array([0, 1, 2])
+        ctx = sequential_context(g)
+        tplus = build_path_table(g, colors, ("a", "b"), {}, {}, ctx)
+        tminus = build_path_table(g, colors, ("a", "c", "b"), {}, {}, ctx)
+        out = []
+        merge_cycle_paths(
+            tplus, tminus, colors, lambda img, sig, cnt: out.append(cnt),
+            boundary_labels=(), s_label="a", e_label="b", ctx=ctx,
+        )
+        assert sum(out) == 6  # directed triangle traversals from each start
+
+    def test_merge_boundary_resolution(self):
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        colors = np.array([0, 1, 2, 3])
+        ctx = sequential_context(g)
+        tplus = build_path_table(g, colors, ("a", "p", "c"), {}, {}, ctx, record_set={"p"})
+        tminus = build_path_table(g, colors, ("a", "q", "c"), {}, {}, ctx, record_set={"q"})
+        seen = []
+        merge_cycle_paths(
+            tplus, tminus, colors,
+            lambda img, sig, cnt: seen.append(img),
+            boundary_labels=("p", "q"), s_label="a", e_label="c", ctx=ctx,
+        )
+        assert seen  # C4 exists in the data square
+        for p_img, q_img in seen:
+            assert p_img != q_img  # opposite corners
+
+    def test_unlocatable_boundary_raises(self):
+        tp, tm = PathTable(), PathTable()
+        tp.add(0, 1, (), 0b11, 1)
+        tm.add(0, 1, (), 0b11, 1)
+        g = Graph(2, [(0, 1)])
+        with pytest.raises(AssertionError):
+            merge_cycle_paths(
+                tp, tm, np.array([0, 1]), lambda *a: None,
+                boundary_labels=("ghost",), s_label="a", e_label="b",
+                ctx=sequential_context(g),
+            )

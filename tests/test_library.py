@@ -1,0 +1,101 @@
+"""Tests for the Figure 8 query library and fixtures."""
+
+import pytest
+
+from repro.decomposition import enumerate_plans
+from repro.query import (
+    PAPER_QUERY_SIZES,
+    all_fixture_queries,
+    complete_binary_tree,
+    cycle_query,
+    paper_queries,
+    paper_query,
+    path_query,
+    satellite,
+    star_query,
+)
+
+
+class TestPaperQueries:
+    def test_all_ten_present(self):
+        qs = paper_queries()
+        assert set(qs) == set(PAPER_QUERY_SIZES)
+
+    def test_sizes_match_paper(self):
+        for name, q in paper_queries().items():
+            assert q.k == PAPER_QUERY_SIZES[name], name
+
+    def test_all_connected(self):
+        for q in paper_queries().values():
+            assert q.is_connected(), q.name
+
+    def test_all_contain_cycles(self):
+        # "beyond trees": every Figure 8 query is cyclic
+        for name, q in paper_queries().items():
+            assert q.num_edges() >= q.k, name
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(KeyError, match="unknown paper query"):
+            paper_query("nonexistent")
+
+    def test_brain1_has_exactly_two_plans(self):
+        # Section 6: "brain1 admits two decomposition trees"
+        assert len(enumerate_plans(paper_query("brain1"))) == 2
+
+    def test_brain3_longest_cycle_is_8(self):
+        plans = enumerate_plans(paper_query("brain3"))
+        assert min(p.longest_cycle() for p in plans) == 8
+
+
+class TestSatellite:
+    def test_size(self):
+        q = satellite()
+        assert q.k == 11
+        assert q.num_edges() == 14
+
+    def test_structure_from_figure_2(self):
+        q = satellite()
+        # 5-cycle a-b-c-d-e
+        for a, b in [("a", "b"), ("b", "c"), ("c", "d"), ("d", "e"), ("e", "a")]:
+            assert q.has_edge(a, b)
+        # triangle (i, j, k), leaf edge (f, h), cycle (i, f, g)
+        assert q.has_edge("i", "j") and q.has_edge("j", "k") and q.has_edge("k", "i")
+        assert q.has_edge("f", "h") and q.degree("h") == 1
+        assert q.has_edge("i", "f") and q.has_edge("f", "g") and q.has_edge("i", "g")
+
+    def test_no_direct_ac_edge(self):
+        # (a, c) appears only as the contraction edge, not in the query
+        assert not satellite().has_edge("a", "c")
+
+
+class TestGenerators:
+    def test_cycle_query_lengths(self):
+        for length in range(3, 10):
+            q = cycle_query(length)
+            assert q.k == length and q.num_edges() == length
+
+    def test_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            cycle_query(2)
+
+    def test_path_query(self):
+        q = path_query(6)
+        assert q.k == 6 and q.num_edges() == 5
+
+    def test_single_node_path(self):
+        q = path_query(1)
+        assert q.k == 1 and q.num_edges() == 0
+
+    def test_star_query(self):
+        q = star_query(4)
+        assert q.k == 5 and q.degree(0) == 4
+
+    def test_complete_binary_tree(self):
+        q = complete_binary_tree(2)
+        assert q.k == 7 and q.num_edges() == 6
+
+    def test_fixture_list_nonempty(self):
+        fixtures = all_fixture_queries()
+        assert len(fixtures) >= 15
+        names = [q.name for q in fixtures]
+        assert "satellite" in names and "brain3" in names

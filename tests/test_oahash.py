@@ -1,0 +1,84 @@
+"""Tests for the open-addressing hash table (Section 7 engine storage)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.tables.oahash import OpenAddressingTable
+
+
+class TestBasics:
+    def test_empty(self):
+        t = OpenAddressingTable()
+        assert len(t) == 0
+        assert t.get((1, 2)) == 0
+        assert (1, 2) not in t
+
+    def test_add_and_get(self):
+        t = OpenAddressingTable()
+        t.add((1, 2, 0b11), 5)
+        assert t.get((1, 2, 0b11)) == 5
+        assert (1, 2, 0b11) in t
+
+    def test_accumulation(self):
+        t = OpenAddressingTable()
+        t.add((0,), 3)
+        t.add((0,), 4)
+        assert t.get((0,)) == 7
+        assert len(t) == 1
+
+    def test_items_and_total(self):
+        t = OpenAddressingTable()
+        t.add((1,), 2)
+        t.add((2,), 3)
+        assert dict(t.items()) == {(1,): 2, (2,): 3}
+        assert t.total() == 5
+
+    def test_default_get(self):
+        t = OpenAddressingTable()
+        assert t.get((9, 9), default=-1) == -1
+
+
+class TestResize:
+    def test_grows_past_initial_capacity(self):
+        t = OpenAddressingTable(capacity=8)
+        for i in range(100):
+            t.add((i, i + 1), 1)
+        assert len(t) == 100
+        assert t.capacity >= 128
+        assert t.load_factor <= OpenAddressingTable.MAX_LOAD + 1e-9
+        for i in range(100):
+            assert t.get((i, i + 1)) == 1
+
+    def test_capacity_power_of_two(self):
+        t = OpenAddressingTable(capacity=100)
+        assert t.capacity == 128
+
+    def test_probe_counter_advances_under_collisions(self):
+        t = OpenAddressingTable(capacity=8)
+        for i in range(200):
+            t.add((i,), 1)
+        assert t.probe_count >= 0  # monotone diagnostic; existence checked
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.lists(
+        st.tuples(
+            st.tuples(st.integers(0, 50), st.integers(0, 50)),
+            st.integers(1, 10),
+        ),
+        max_size=200,
+    )
+)
+def test_matches_dict_semantics(ops):
+    """Property: the table behaves exactly like a counting dict."""
+    t = OpenAddressingTable()
+    reference: dict = {}
+    for key, cnt in ops:
+        t.add(key, cnt)
+        reference[key] = reference.get(key, 0) + cnt
+    assert t.to_dict() == reference
+    assert len(t) == len(reference)
+    for key in reference:
+        assert t.get(key) == reference[key]

@@ -1,0 +1,65 @@
+"""Tests for vertex partition strategies."""
+
+import numpy as np
+import pytest
+
+from repro.distributed import (
+    block_partition,
+    cyclic_partition,
+    hash_partition,
+    make_partition,
+)
+
+
+class TestBlockPartition:
+    def test_contiguous(self):
+        p = block_partition(10, 2)
+        assert list(p.owners) == [0] * 5 + [1] * 5
+
+    def test_balanced_sizes(self):
+        p = block_partition(100, 7)
+        sizes = p.rank_sizes()
+        assert sizes.sum() == 100
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_uneven_division(self):
+        p = block_partition(10, 3)
+        assert p.rank_sizes().sum() == 10
+        assert p.owners.max() == 2
+
+    def test_single_rank(self):
+        p = block_partition(5, 1)
+        assert (p.owners == 0).all()
+
+
+class TestCyclicPartition:
+    def test_round_robin(self):
+        p = cyclic_partition(6, 3)
+        assert list(p.owners) == [0, 1, 2, 0, 1, 2]
+
+
+class TestHashPartition:
+    def test_deterministic(self):
+        a = hash_partition(50, 4)
+        b = hash_partition(50, 4)
+        assert np.array_equal(a.owners, b.owners)
+
+    def test_roughly_balanced(self):
+        p = hash_partition(4000, 4)
+        sizes = p.rank_sizes()
+        assert sizes.min() > 700
+
+
+class TestFactory:
+    def test_strategies(self):
+        for s in ("block", "cyclic", "hash"):
+            p = make_partition(20, 4, s)
+            assert p.nranks == 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown partition"):
+            make_partition(10, 2, "zigzag")
+
+    def test_invalid_ranks(self):
+        with pytest.raises(ValueError):
+            make_partition(10, 0, "block")

@@ -1,0 +1,72 @@
+"""Tests for projection tables."""
+
+from repro.tables import BinaryTable, PathTable, UnaryTable, table_total
+
+
+class TestUnaryTable:
+    def test_add_accumulates(self):
+        t = UnaryTable("a")
+        t.add(3, 0b11, 2)
+        t.add(3, 0b11, 5)
+        assert t.data[(3, 0b11)] == 7
+
+    def test_by_vertex_index(self):
+        t = UnaryTable("a")
+        t.add(1, 0b01, 1)
+        t.add(1, 0b10, 2)
+        t.add(2, 0b01, 3)
+        idx = t.by_vertex()
+        assert sorted(idx[1]) == [(0b01, 1), (0b10, 2)]
+        assert idx[2] == [(0b01, 3)]
+
+    def test_total(self):
+        t = UnaryTable("x")
+        t.add(0, 1, 4)
+        t.add(1, 1, 6)
+        assert t.total() == 10
+        assert len(t) == 2
+
+
+class TestBinaryTable:
+    def test_transpose(self):
+        t = BinaryTable(("a", "b"))
+        t.add(1, 2, 0b11, 5)
+        tt = t.transpose()
+        assert tt.boundary == ("b", "a")
+        assert tt.data[(2, 1, 0b11)] == 5
+
+    def test_transpose_involution(self):
+        t = BinaryTable(("a", "b"))
+        t.add(1, 2, 3, 4)
+        t.add(2, 7, 5, 1)
+        assert t.transpose().transpose().data == t.data
+
+    def test_by_first(self):
+        t = BinaryTable(("a", "b"))
+        t.add(1, 2, 0b11, 5)
+        t.add(1, 3, 0b101, 2)
+        idx = t.by_first()
+        assert sorted(idx[1]) == [(2, 0b11, 5), (3, 0b101, 2)]
+
+
+class TestPathTable:
+    def test_extras_in_key(self):
+        t = PathTable(("p",))
+        t.add(1, 2, (9,), 0b11, 1)
+        t.add(1, 2, (8,), 0b11, 1)
+        assert len(t) == 2
+
+    def test_by_endpoints(self):
+        t = PathTable()
+        t.add(1, 2, (), 3, 4)
+        t.add(1, 2, (), 5, 6)
+        t.add(2, 3, (), 3, 1)
+        idx = t.by_endpoints()
+        assert len(idx[(1, 2)]) == 2
+        assert idx[(2, 3)] == [((), 3, 1)]
+
+    def test_table_total_none(self):
+        assert table_total(None) == 0
+        t = PathTable()
+        t.add(0, 1, (), 1, 7)
+        assert table_total(t) == 7

@@ -1,0 +1,81 @@
+"""Tests for graph property helpers (components, triangles, summaries)."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    connected_components,
+    erdos_renyi,
+    graph_summary,
+    is_connected,
+    largest_component_subgraph,
+    num_connected_components,
+    triangle_count,
+)
+
+
+class TestComponents:
+    def test_single_component(self, triangle_graph):
+        assert num_connected_components(triangle_graph) == 1
+        assert is_connected(triangle_graph)
+
+    def test_two_components(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        assert num_connected_components(g) == 2
+        assert not is_connected(g)
+
+    def test_isolated_vertices_are_components(self):
+        g = Graph(3, [])
+        assert num_connected_components(g) == 3
+
+    def test_component_labels(self):
+        g = Graph(4, [(0, 1), (2, 3)])
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert comp[0] != comp[2]
+
+    def test_largest_component_extraction(self):
+        g = Graph(6, [(0, 1), (1, 2), (2, 0), (3, 4)])
+        sub = largest_component_subgraph(g)
+        assert sub.n == 3
+        assert sub.m == 3
+
+    def test_empty_graph_components(self):
+        assert num_connected_components(Graph(0, [])) == 0
+
+
+class TestTriangles:
+    def test_triangle_count_k3(self, triangle_graph):
+        assert triangle_count(triangle_graph) == 1
+
+    def test_triangle_count_square(self, square_graph):
+        assert triangle_count(square_graph) == 0
+
+    def test_triangle_count_k4(self):
+        g = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert triangle_count(g) == 4
+
+    def test_triangle_count_petersen(self, petersen_graph):
+        assert triangle_count(petersen_graph) == 0  # girth 5
+
+    def test_triangle_count_matches_bruteforce(self, rng):
+        g = erdos_renyi(25, 0.3, rng)
+        brute = 0
+        for a in range(g.n):
+            for b in range(a + 1, g.n):
+                for c in range(b + 1, g.n):
+                    if g.has_edge(a, b) and g.has_edge(b, c) and g.has_edge(a, c):
+                        brute += 1
+        assert triangle_count(g) == brute
+
+
+class TestSummary:
+    def test_summary_fields(self, petersen_graph):
+        s = graph_summary(petersen_graph)
+        assert s["nodes"] == 10
+        assert s["edges"] == 15
+        assert s["avg_deg"] == 3.0
+        assert s["max_deg"] == 3
+        assert s["components"] == 1

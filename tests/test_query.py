@@ -1,0 +1,93 @@
+"""Tests for the QueryGraph class."""
+
+import pytest
+
+from repro.query import QueryGraph, cycle_query, path_query
+
+
+class TestBasics:
+    def test_node_and_edge_counts(self):
+        q = QueryGraph([("a", "b"), ("b", "c")])
+        assert q.k == 3
+        assert q.num_edges() == 2
+
+    def test_isolated_nodes_via_nodes_arg(self):
+        q = QueryGraph([], nodes=["x", "y"])
+        assert q.k == 2
+        assert q.num_edges() == 0
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            QueryGraph([("a", "a")])
+
+    def test_degree_and_neighbors(self):
+        q = QueryGraph([(0, 1), (0, 2)])
+        assert q.degree(0) == 2
+        assert q.neighbors(0) == {1, 2}
+
+    def test_has_edge_symmetric(self):
+        q = QueryGraph([(0, 1)])
+        assert q.has_edge(0, 1) and q.has_edge(1, 0)
+        assert not q.has_edge(0, 2)
+
+    def test_duplicate_edges_collapse(self):
+        q = QueryGraph([(0, 1), (1, 0)])
+        assert q.num_edges() == 1
+
+
+class TestConnectivity:
+    def test_connected(self):
+        assert cycle_query(5).is_connected()
+
+    def test_disconnected(self):
+        q = QueryGraph([(0, 1), (2, 3)])
+        assert not q.is_connected()
+
+    def test_single_node_connected(self):
+        assert QueryGraph([], nodes=[0]).is_connected()
+
+
+class TestTransforms:
+    def test_relabel_to_ints(self):
+        q = QueryGraph([("x", "y"), ("y", "z")])
+        qi, mapping = q.relabel_to_ints()
+        assert sorted(qi.nodes()) == [0, 1, 2]
+        assert qi.num_edges() == 2
+        assert set(mapping) == {"x", "y", "z"}
+
+    def test_subgraph(self):
+        q = cycle_query(5)
+        sub = q.subgraph([0, 1, 2])
+        assert sub.k == 3
+        assert sub.num_edges() == 2
+
+    def test_copy_independent(self):
+        q = cycle_query(4)
+        c = q.copy()
+        assert q == c
+        c.adj[0].discard(1)
+        c.adj[1].discard(0)
+        assert q != c
+
+
+class TestDegeneracy:
+    def test_tree_degeneracy(self):
+        assert path_query(5).degeneracy() == 1
+
+    def test_cycle_degeneracy(self):
+        assert cycle_query(6).degeneracy() == 2
+
+    def test_clique_degeneracy(self):
+        k4 = QueryGraph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        assert k4.degeneracy() == 3
+
+
+class TestEquality:
+    def test_equality_ignores_edge_order(self):
+        a = QueryGraph([(0, 1), (1, 2)])
+        b = QueryGraph([(1, 2), (0, 1)])
+        assert a == b
+        assert hash(a) == hash(b)
+
+    def test_inequality(self):
+        assert QueryGraph([(0, 1)]) != QueryGraph([(0, 2)])

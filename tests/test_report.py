@@ -1,0 +1,56 @@
+"""Tests for the benchmark report aggregator and new CLI subcommands."""
+
+import os
+
+import pytest
+
+from repro.bench import collect_results, render_report
+from repro.cli import main
+
+
+class TestReportAggregation:
+    def test_empty_dir(self, tmp_path):
+        text = render_report(str(tmp_path))
+        assert "No benchmark results" in text
+
+    def test_collect_and_render(self, tmp_path):
+        (tmp_path / "table1.txt").write_text("== Table 1 ==\nrow\n")
+        (tmp_path / "custom_extra.txt").write_text("extra table\n")
+        results = collect_results(str(tmp_path))
+        assert set(results) == {"table1", "custom_extra"}
+        report = render_report(str(tmp_path))
+        assert "Table 1 — data graphs" in report
+        assert "custom_extra" in report  # unlisted files appended
+
+    def test_paper_ordering(self, tmp_path):
+        (tmp_path / "fig10.txt").write_text("IF table\n")
+        (tmp_path / "table1.txt").write_text("graphs\n")
+        report = render_report(str(tmp_path))
+        assert report.index("Table 1") < report.index("Figure 10")
+
+
+class TestNewCliCommands:
+    def test_compare_command(self, capsys):
+        rc = main(["compare", "--graph", "condmat", "--query", "glet1", "--ranks", "4"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "improvement factor" in out
+
+    def test_verify_command(self, capsys):
+        rc = main(["verify", "--graph", "condmat", "--query", "glet1"])
+        assert rc == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_trace_command(self, capsys):
+        rc = main(
+            ["trace", "--graph", "condmat", "--query", "glet1", "--ranks", "4", "--top", "3"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "per-rank load" in out
+
+    def test_report_command(self, tmp_path, capsys):
+        (tmp_path / "fig8.txt").write_text("queries\n")
+        rc = main(["report", "--results-dir", str(tmp_path)])
+        assert rc == 0
+        assert "Figure 8" in capsys.readouterr().out

@@ -1,0 +1,78 @@
+"""Tests for subgraph sampling."""
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    Graph,
+    bfs_ball,
+    erdos_renyi,
+    induced_subgraph,
+    random_induced_sample,
+)
+from repro.graph.properties import is_connected
+
+
+class TestInducedSubgraph:
+    def test_whole_graph(self, petersen_graph):
+        sub, remap = induced_subgraph(petersen_graph, range(10))
+        assert sub.n == 10 and sub.m == 15
+        assert remap == {i: i for i in range(10)}
+
+    def test_triangle_extraction(self, petersen_graph):
+        # outer 5-cycle vertices 0..4 induce a C5
+        sub, _ = induced_subgraph(petersen_graph, [0, 1, 2, 3, 4])
+        assert sub.n == 5 and sub.m == 5
+
+    def test_relabelling(self):
+        g = Graph(5, [(2, 4)])
+        sub, remap = induced_subgraph(g, [2, 4])
+        assert sub.n == 2 and sub.m == 1
+        assert remap == {2: 0, 4: 1}
+
+    def test_duplicates_collapsed(self, triangle_graph):
+        sub, _ = induced_subgraph(triangle_graph, [0, 0, 1])
+        assert sub.n == 2
+
+    def test_out_of_range(self, triangle_graph):
+        with pytest.raises(ValueError):
+            induced_subgraph(triangle_graph, [0, 7])
+
+
+class TestBfsBall:
+    def test_cap_respected(self, petersen_graph):
+        ball = bfs_ball(petersen_graph, 0, 4)
+        assert len(ball) == 4
+        assert ball[0] == 0
+
+    def test_full_reach(self, petersen_graph):
+        ball = bfs_ball(petersen_graph, 0, 100)
+        assert sorted(ball) == list(range(10))
+
+    def test_isolated_center(self):
+        g = Graph(3, [(1, 2)])
+        assert bfs_ball(g, 0, 5) == [0]
+
+    def test_invalid_center(self, triangle_graph):
+        with pytest.raises(ValueError):
+            bfs_ball(triangle_graph, 9, 2)
+
+
+class TestRandomInducedSample:
+    def test_connected_sample(self, rng):
+        g = erdos_renyi(60, 0.1, rng)
+        sub, remap = random_induced_sample(g, 10, rng, connected=True)
+        assert sub.n <= 10
+        assert is_connected(sub) or sub.n == 1
+
+    def test_uniform_sample_size(self, rng):
+        g = erdos_renyi(50, 0.2, rng)
+        sub, _ = random_induced_sample(g, 12, rng, connected=False)
+        assert sub.n == 12
+
+    def test_sample_edges_are_real(self, rng):
+        g = erdos_renyi(30, 0.2, rng)
+        sub, remap = random_induced_sample(g, 8, rng)
+        inverse = {new: old for old, new in remap.items()}
+        for u, v in sub.edges():
+            assert g.has_edge(inverse[u], inverse[v])

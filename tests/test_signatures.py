@@ -1,0 +1,78 @@
+"""Tests for color-signature bitmask operations."""
+
+import pytest
+
+from repro.tables import (
+    all_signatures,
+    color_bit,
+    empty_signature,
+    full_signature,
+    sig_add,
+    sig_colors,
+    sig_contains,
+    sig_disjoint_except,
+    sig_from_colors,
+    sig_intersection,
+    sig_size,
+    sig_union,
+)
+
+
+class TestBasics:
+    def test_empty(self):
+        assert empty_signature() == 0
+        assert sig_size(empty_signature()) == 0
+
+    def test_full(self):
+        assert full_signature(4) == 0b1111
+        assert sig_size(full_signature(10)) == 10
+
+    def test_color_bit(self):
+        assert color_bit(0) == 1
+        assert color_bit(3) == 8
+
+    def test_from_colors_roundtrip(self):
+        sig = sig_from_colors([0, 2, 5])
+        assert sig_colors(sig) == [0, 2, 5]
+        assert sig_size(sig) == 3
+
+    def test_contains(self):
+        sig = sig_from_colors([1, 3])
+        assert sig_contains(sig, 1)
+        assert not sig_contains(sig, 2)
+
+    def test_add_idempotent(self):
+        sig = sig_add(sig_add(0, 2), 2)
+        assert sig == color_bit(2)
+
+    def test_union_intersection(self):
+        a = sig_from_colors([0, 1])
+        b = sig_from_colors([1, 2])
+        assert sig_union(a, b) == sig_from_colors([0, 1, 2])
+        assert sig_intersection(a, b) == sig_from_colors([1])
+
+
+class TestJoinCondition:
+    def test_disjoint_except_holds(self):
+        a = sig_from_colors([0, 1, 2])
+        b = sig_from_colors([2, 3, 4])
+        assert sig_disjoint_except(a, b, sig_from_colors([2]))
+
+    def test_disjoint_except_fails_extra_overlap(self):
+        a = sig_from_colors([0, 1, 2])
+        b = sig_from_colors([1, 2, 3])
+        assert not sig_disjoint_except(a, b, sig_from_colors([2]))
+
+    def test_disjoint_except_fails_missing_shared(self):
+        a = sig_from_colors([0, 1])
+        b = sig_from_colors([2, 3])
+        assert not sig_disjoint_except(a, b, sig_from_colors([1]))
+
+
+class TestEnumeration:
+    def test_all_signatures_count(self):
+        assert len(list(all_signatures(5))) == 32
+
+    def test_all_signatures_distinct(self):
+        sigs = list(all_signatures(4))
+        assert len(set(sigs)) == 16

@@ -1,0 +1,116 @@
+"""Edge cases and internal invariants of the plan solver."""
+
+import numpy as np
+import pytest
+
+from repro.counting.solver import METHODS, solve_plan
+from repro.counting import count_colorful_matches
+from repro.decomposition import build_decomposition, enumerate_plans
+from repro.graph import Graph, erdos_renyi
+from repro.query import QueryGraph, cycle_query, diamond, paper_query
+
+
+class TestMethodValidation:
+    def test_unknown_method_rejected(self, triangle_graph):
+        plan = build_decomposition(cycle_query(3))
+        with pytest.raises(ValueError, match="method"):
+            solve_plan(plan, triangle_graph, np.array([0, 1, 2]), method="magic")
+
+    def test_all_methods_registered(self):
+        assert set(METHODS) == {"ps", "db", "ps-even"}
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_all_methods_agree(self, method, rng):
+        g = erdos_renyi(10, 0.45, rng)
+        q = paper_query("wiki")
+        plan = build_decomposition(q)
+        colors = rng.integers(0, q.k, size=g.n)
+        expected = count_colorful_matches(g, q, colors)
+        assert solve_plan(plan, g, colors, method=method) == expected
+
+
+class TestDiamondAndChords:
+    """The diamond exercises Case 2's annotated-edge-consuming subtlety:
+    the triangle's contraction edge coincides with an original edge."""
+
+    def test_diamond_in_k4(self, rng):
+        k4 = Graph(4, [(i, j) for i in range(4) for j in range(i + 1, 4)])
+        q = diamond()
+        colors = np.array([0, 1, 2, 3])
+        expected = count_colorful_matches(k4, q, colors)
+        for method in METHODS:
+            plan = build_decomposition(q)
+            assert solve_plan(plan, k4, colors, method=method) == expected
+
+    def test_two_triangles_sharing_edge_query(self, rng):
+        # same as diamond but built via shared-edge phrasing
+        q = QueryGraph([("x", "y"), ("y", "z"), ("z", "x"), ("y", "w"), ("w", "z")])
+        g = erdos_renyi(9, 0.55, rng)
+        colors = rng.integers(0, 4, size=g.n)
+        expected = count_colorful_matches(g, q, colors)
+        for plan in enumerate_plans(q):
+            assert solve_plan(plan, g, colors, method="db") == expected
+
+
+class TestThetaGraphs:
+    """Theta graphs (two hubs joined by three paths) stress the nested
+    cycle handling: contracting one cycle creates an annotated edge that
+    becomes part of the next cycle."""
+
+    @pytest.mark.parametrize("lengths", [(2, 2, 2), (2, 2, 3), (2, 3, 3)])
+    def test_theta(self, lengths, rng):
+        edges = []
+        nxt = 2
+        for plen in lengths:  # path with plen edges between hubs 0 and 1
+            prev = 0
+            for _ in range(plen - 1):
+                edges.append((prev, nxt))
+                prev = nxt
+                nxt += 1
+            edges.append((prev, 1))
+        q = QueryGraph(edges)
+        g = erdos_renyi(10, 0.5, rng)
+        colors = rng.integers(0, q.k, size=g.n)
+        expected = count_colorful_matches(g, q, colors)
+        for method in METHODS:
+            assert solve_plan(build_decomposition(q), g, colors, method=method) == expected
+
+
+class TestLongCycles:
+    def test_c8_on_cycle_data_graph(self):
+        # data graph = C8 itself; exactly 16 colorful matches under a
+        # rainbow coloring (8 rotations x 2 directions)
+        g = Graph(8, [(i, (i + 1) % 8) for i in range(8)])
+        q = cycle_query(8)
+        colors = np.arange(8)
+        for method in METHODS:
+            plan = build_decomposition(q)
+            assert solve_plan(plan, g, colors, method=method) == 16
+
+    def test_odd_cycle_split_asymmetry(self, rng):
+        # odd cycles split into paths of different lengths; both methods
+        # must still agree with brute force
+        g = erdos_renyi(11, 0.45, rng)
+        q = cycle_query(7)
+        colors = rng.integers(0, 7, size=g.n)
+        expected = count_colorful_matches(g, q, colors)
+        for method in METHODS:
+            assert solve_plan(build_decomposition(q), g, colors, method=method) == expected
+
+
+class TestDegenerateColorings:
+    def test_two_colors_only(self, rng):
+        # only 2 of k colors used: no colorful match for k >= 3
+        g = erdos_renyi(10, 0.5, rng)
+        q = cycle_query(4)
+        colors = rng.integers(0, 2, size=g.n)
+        for method in METHODS:
+            assert solve_plan(build_decomposition(q), g, colors, method=method) == 0
+
+    def test_exact_color_classes(self):
+        # bipartite-ish: C4 data graph colored 0,1,2,3 has the 8 matches
+        g = Graph(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        q = cycle_query(4)
+        assert solve_plan(build_decomposition(q), g, np.array([0, 1, 2, 3]), method="db") == 8
+        # collapsing two opposite vertices' colors kills every match
+        assert solve_plan(build_decomposition(q), g, np.array([0, 1, 0, 3]), method="db") == 0

@@ -1,0 +1,160 @@
+"""Tests for the Section 9-10 theory toolkit."""
+
+import numpy as np
+import pytest
+
+from repro.graph.degree import lambda_balance, moment, truncated_power_law_sequence
+from repro.theory import (
+    balance_report,
+    claim_10_1_prediction,
+    count_simple_paths,
+    count_x_paths,
+    count_y_paths,
+    power_law_exponents,
+    power_law_graph,
+    predicted_gap_exponent,
+    sample_chung_lu,
+    validate_degree_sequence,
+    x_upper_bound,
+    y_lower_bound,
+)
+from repro.graph import Graph
+
+
+class TestChungLuModel:
+    def test_validation_rejects_small_degrees(self):
+        with pytest.raises(ValueError, match="d_u >= 1"):
+            validate_degree_sequence(np.array([0.5, 1.0, 2.0]))
+
+    def test_validation_rejects_large_degrees(self):
+        seq = np.ones(16)
+        seq[0] = 10  # sqrt(16) = 4
+        with pytest.raises(ValueError, match="sqrt"):
+            validate_degree_sequence(seq)
+
+    def test_sampling_realises_expected_degrees(self, rng):
+        n = 900
+        seq = np.full(n, 8.0)
+        g = sample_chung_lu(seq, rng)
+        assert abs(g.avg_degree() - 8.0) < 1.2
+
+    def test_power_law_graph_returns_sequence(self, rng):
+        g, seq = power_law_graph(256, 1.5, rng)
+        assert g.n == 256
+        assert len(seq) == 256
+
+
+class TestPathCounters:
+    def test_simple_paths_on_triangle(self, triangle_graph):
+        # q=2: ordered adjacent pairs = 6; q=3: 3! = 6 labelled paths
+        assert count_simple_paths(triangle_graph, 2) == 6
+        assert count_simple_paths(triangle_graph, 3) == 6
+
+    def test_q1_is_vertex_count(self, petersen_graph):
+        assert count_simple_paths(petersen_graph, 1) == 10
+
+    def test_y_paths_partition_by_start(self, triangle_graph):
+        # exactly one endpoint of each path has the max id
+        assert count_y_paths(triangle_graph, 2) == 3
+        assert count_y_paths(triangle_graph, 3) == 2
+
+    def test_x_equals_y_on_regular_graph_with_id_order(self, petersen_graph):
+        # all degrees equal -> degree order reduces to id order
+        for q in (2, 3):
+            assert count_x_paths(petersen_graph, q) == count_y_paths(petersen_graph, q)
+
+    def test_x_less_than_y_on_star(self):
+        # star: high-starting paths must start at the hub
+        g = Graph(6, [(0, i) for i in range(1, 6)])
+        # X(3): paths of 3 vertices starting above both others: only from
+        # hub? hub-leaf-? has no continuation; leaf-hub-leaf starts at a
+        # leaf which is lower than the hub -> 0
+        assert count_x_paths(g, 3) == 0
+        assert count_y_paths(g, 3) > 0
+
+    def test_domination_counts_bounded(self, rng):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(15, 0.3, rng)
+        for q in (2, 3, 4):
+            total = count_simple_paths(g, q)
+            assert count_x_paths(g, q) <= total
+            assert count_y_paths(g, q) <= total
+
+    def test_y_with_random_ids_still_partitions(self, rng):
+        from repro.graph import erdos_renyi
+
+        g = erdos_renyi(12, 0.4, rng)
+        ids = rng.permutation(g.n)
+        # each undirected path has exactly one dominating endpoint ->
+        # Y(q) with any id assignment equals half the directed paths...
+        # only exactly true for q=2:
+        assert count_y_paths(g, 2, ids=ids) == count_simple_paths(g, 2) // 2
+
+
+class TestBounds:
+    def test_y_lower_bound_formula(self):
+        d = np.full(100, 4.0)
+        # (1/q)(2m)^{3-q} (sum d^2)^{q-2} with 2m=400, sum d^2=1600
+        assert y_lower_bound(d, 3) == pytest.approx((1 / 3) * 1600)
+
+    def test_x_upper_bound_formula(self):
+        d = np.full(100, 4.0)
+        s = 2 - 1 / 2
+        expected = (400.0) ** (-1) * moment(d, s) ** 2
+        assert x_upper_bound(d, 3) == pytest.approx(expected)
+
+    def test_bounds_reject_small_q(self):
+        d = np.ones(10)
+        with pytest.raises(ValueError):
+            y_lower_bound(d, 2)
+        with pytest.raises(ValueError):
+            x_upper_bound(d, 2)
+
+    def test_x_bound_never_exceeds_y_bound_asymptotics(self, rng):
+        """Lemma 9.7: E[X(q)] = O(E[Y(q)]) — on balanced sequences the
+        X bound is within a constant of the Y bound."""
+        for alpha in (1.3, 1.5, 1.7):
+            seq = truncated_power_law_sequence(4096, alpha, rng=rng)
+            for q in (3, 4):
+                # X upper bound <= C * Y lower bound * q (Lemma 9.7's chain)
+                assert x_upper_bound(seq, q) <= 3 * q * y_lower_bound(seq, q)
+
+    def test_power_law_exponents_regimes(self):
+        exps = power_law_exponents(1.4, 4)
+        assert not exps["x_is_nlogn"]
+        exps2 = power_law_exponents(1.9, 4)  # 1.9 > 2 - 1/3
+        assert exps2["x_is_nlogn"]
+
+    def test_gap_exponent_positive(self):
+        # Corollary 9.9: DB is polynomially better for alpha in (1, 2)
+        for alpha in (1.2, 1.5, 1.8):
+            for q in (3, 4, 5):
+                assert predicted_gap_exponent(alpha, q) > 0
+
+    def test_exponent_validation(self):
+        with pytest.raises(ValueError):
+            power_law_exponents(2.5, 3)
+
+
+class TestBalance:
+    def test_uniform_sequence_is_well_balanced(self):
+        d = np.full(1000, 4.0)
+        lam = lambda_balance(d)
+        assert lam == pytest.approx(1 / 1000)
+
+    def test_power_law_balance_matches_claim(self, rng):
+        """Claim 10.1: lambda = O(n^{alpha/2 - 1})."""
+        alpha = 1.5
+        for n in (1024, 4096):
+            seq = truncated_power_law_sequence(n, alpha, rng=rng)
+            report = balance_report(seq, alpha)
+            # empirical lambda within a constant factor of the prediction
+            assert report["ratio"] < 10.0
+
+    def test_prediction_shrinks_with_n(self):
+        assert claim_10_1_prediction(10000, 1.5) < claim_10_1_prediction(100, 1.5)
+
+    def test_balance_requires_degrees_at_least_one(self):
+        with pytest.raises(ValueError):
+            lambda_balance(np.array([0.5, 2.0]))

@@ -1,0 +1,40 @@
+"""Tests for the Monte-Carlo E[X]/E[Y] estimation."""
+
+import pytest
+
+from repro.theory import PathStatEstimate, estimate_xy, xy_growth_curve
+
+
+class TestPathStatEstimate:
+    def test_mean_and_std(self):
+        est = PathStatEstimate("X", 100, [10, 20, 30])
+        assert est.mean == 20.0
+        assert est.std == pytest.approx(10.0)
+        assert est.ci95_half_width > 0
+
+    def test_single_sample_no_spread(self):
+        est = PathStatEstimate("Y", 100, [7])
+        assert est.std == 0.0
+        assert est.ci95_half_width == 0.0
+
+
+class TestEstimateXY:
+    def test_x_below_y_in_expectation(self):
+        x_est, y_est = estimate_xy(n=256, alpha=1.5, q=3, samples=3, seed=5)
+        assert len(x_est.samples) == 3
+        assert x_est.mean <= y_est.mean
+
+    def test_deterministic(self):
+        a = estimate_xy(128, 1.5, 3, samples=2, seed=1)
+        b = estimate_xy(128, 1.5, 3, samples=2, seed=1)
+        assert a[0].samples == b[0].samples
+        assert a[1].samples == b[1].samples
+
+
+class TestGrowthCurve:
+    def test_rows_and_gap(self):
+        rows = xy_growth_curve([128, 256], alpha=1.5, q=3, samples=2, seed=3)
+        assert [r["n"] for r in rows] == [128, 256]
+        for r in rows:
+            assert r["E[X]"] <= r["E[Y]"]
+            assert r["Y/X"] >= 1.0

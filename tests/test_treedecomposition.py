@@ -1,0 +1,97 @@
+"""Tests for explicit tree decompositions."""
+
+import pytest
+
+from repro.query import (
+    QueryGraph,
+    cycle_query,
+    diamond,
+    paper_queries,
+    path_query,
+    random_tw2_query,
+    satellite,
+    star_query,
+)
+from repro.query.treedecomposition import (
+    TreeDecomposition,
+    tree_decomposition_tw2,
+    verify_tree_decomposition,
+)
+
+
+class TestConstruction:
+    def test_path_width_1(self):
+        td = tree_decomposition_tw2(path_query(6))
+        assert td.width <= 1
+
+    def test_star_width_1(self):
+        td = tree_decomposition_tw2(star_query(5))
+        assert td.width == 1
+
+    def test_cycle_width_2(self):
+        td = tree_decomposition_tw2(cycle_query(6))
+        assert td.width == 2
+
+    def test_diamond_width_2(self):
+        assert tree_decomposition_tw2(diamond()).width == 2
+
+    def test_all_paper_queries(self):
+        for name, q in paper_queries().items():
+            td = tree_decomposition_tw2(q)
+            assert td.width == 2, name
+
+    def test_satellite(self):
+        td = tree_decomposition_tw2(satellite())
+        assert td.width == 2
+        assert len(td.bags) == 11  # one bag per eliminated vertex
+
+    def test_rejects_k4(self):
+        k4 = QueryGraph([(i, j) for i in range(4) for j in range(i + 1, 4)])
+        with pytest.raises(ValueError, match="treewidth > 2"):
+            tree_decomposition_tw2(k4)
+
+    def test_single_node(self):
+        td = tree_decomposition_tw2(QueryGraph([], nodes=["a"]))
+        assert td.width == 0
+
+    def test_random_queries_verify(self, rng):
+        for _ in range(25):
+            q = random_tw2_query(rng, max_k=9)
+            td = tree_decomposition_tw2(q)  # includes verification
+            assert td.width <= 2
+
+
+class TestVerification:
+    def test_edge_not_covered_detected(self):
+        q = cycle_query(3)
+        td = TreeDecomposition(
+            bags=[frozenset({0, 1}), frozenset({1, 2}), frozenset({2})],
+            tree_edges=[(0, 1), (1, 2)],
+        )
+        with pytest.raises(ValueError, match="not inside any bag"):
+            verify_tree_decomposition(q, td)
+
+    def test_disconnected_subtree_detected(self):
+        q = path_query(3)
+        # node 0 appears in bags 0 and 2 which are not adjacent via bags with 0
+        td = TreeDecomposition(
+            bags=[frozenset({0, 1}), frozenset({1, 2}), frozenset({0, 2})],
+            tree_edges=[(0, 1), (1, 2)],
+        )
+        with pytest.raises(ValueError, match="not connected"):
+            verify_tree_decomposition(q, td)
+
+    def test_cyclic_bag_tree_detected(self):
+        q = path_query(3)
+        td = TreeDecomposition(
+            bags=[frozenset({0, 1}), frozenset({1, 2})],
+            tree_edges=[(0, 1), (1, 0)],
+        )
+        with pytest.raises(ValueError):
+            verify_tree_decomposition(q, td)
+
+    def test_missing_node_detected(self):
+        q = path_query(3)
+        td = TreeDecomposition(bags=[frozenset({0, 1})], tree_edges=[])
+        with pytest.raises(ValueError):
+            verify_tree_decomposition(q, td)

@@ -1,0 +1,66 @@
+"""Tests for the FASCIA-style treelet dynamic program."""
+
+import numpy as np
+import pytest
+
+from repro.counting import (
+    count_colorful_db,
+    count_colorful_matches,
+    count_colorful_treelet,
+)
+from repro.graph import erdos_renyi, random_tree
+from repro.query import (
+    QueryGraph,
+    complete_binary_tree,
+    cycle_query,
+    path_query,
+    star_query,
+)
+
+
+class TestTreeletDP:
+    def test_rejects_cyclic_query(self, triangle_graph):
+        with pytest.raises(ValueError, match="acyclic"):
+            count_colorful_treelet(triangle_graph, cycle_query(3), [0, 1, 2])
+
+    def test_rejects_bad_coloring_length(self, triangle_graph):
+        with pytest.raises(ValueError):
+            count_colorful_treelet(triangle_graph, path_query(2), [0])
+
+    def test_single_node(self, petersen_graph):
+        q = QueryGraph([], nodes=["r"])
+        assert count_colorful_treelet(petersen_graph, q, np.zeros(10, int)) == 10
+
+    def test_edge_query_hand_count(self, triangle_graph):
+        colors = np.array([0, 1, 1])
+        assert count_colorful_treelet(triangle_graph, path_query(2), colors) == 4
+
+    @pytest.mark.parametrize("qbuilder", [
+        lambda: path_query(3),
+        lambda: path_query(5),
+        lambda: star_query(3),
+        lambda: complete_binary_tree(2),
+    ])
+    def test_agrees_with_bruteforce(self, qbuilder, rng):
+        q = qbuilder()
+        for _ in range(3):
+            g = erdos_renyi(10, 0.4, rng)
+            colors = rng.integers(0, q.k, size=g.n)
+            assert count_colorful_treelet(g, q, colors) == count_colorful_matches(
+                g, q, colors
+            )
+
+    def test_agrees_with_db_on_trees(self, rng):
+        """The paper's framework subsumes trees: DB == treelet DP."""
+        q = complete_binary_tree(2)
+        g = erdos_renyi(12, 0.35, rng)
+        colors = rng.integers(0, q.k, size=g.n)
+        assert count_colorful_treelet(g, q, colors) == count_colorful_db(g, q, colors)
+
+    def test_tree_data_graph(self, rng):
+        g = random_tree(15, rng)
+        q = path_query(4)
+        colors = rng.integers(0, 4, size=g.n)
+        assert count_colorful_treelet(g, q, colors) == count_colorful_matches(
+            g, q, colors
+        )

@@ -1,0 +1,113 @@
+"""Tests for treewidth recognition and exact computation."""
+
+import pytest
+
+from repro.query import (
+    QueryGraph,
+    complete_binary_tree,
+    cycle_query,
+    diamond,
+    is_tree,
+    is_treewidth_at_most_2,
+    paper_queries,
+    path_query,
+    satellite,
+    star_query,
+    treewidth,
+)
+
+
+def clique(k):
+    return QueryGraph([(i, j) for i in range(k) for j in range(i + 1, k)])
+
+
+class TestIsTree:
+    def test_path_is_tree(self):
+        assert is_tree(path_query(5))
+
+    def test_cycle_not_tree(self):
+        assert not is_tree(cycle_query(4))
+
+    def test_disconnected_not_tree(self):
+        assert not is_tree(QueryGraph([(0, 1), (2, 3)]))
+
+
+class TestTw2Recognition:
+    def test_trees_pass(self):
+        assert is_treewidth_at_most_2(complete_binary_tree(3))
+        assert is_treewidth_at_most_2(star_query(6))
+
+    def test_cycles_pass(self):
+        for length in range(3, 9):
+            assert is_treewidth_at_most_2(cycle_query(length))
+
+    def test_diamond_passes(self):
+        assert is_treewidth_at_most_2(diamond())
+
+    def test_series_parallel_passes(self):
+        # theta graph: two nodes joined by three internally disjoint paths
+        theta = QueryGraph(
+            [(0, 2), (2, 1), (0, 3), (3, 1), (0, 4), (4, 5), (5, 1)]
+        )
+        assert is_treewidth_at_most_2(theta)
+
+    def test_k4_fails(self):
+        assert not is_treewidth_at_most_2(clique(4))
+
+    def test_k4_plus_pendant_fails(self):
+        q = clique(4)
+        q2 = QueryGraph(q.edges() + [(0, 9)])
+        assert not is_treewidth_at_most_2(q2)
+
+    def test_all_paper_queries_pass(self):
+        for q in paper_queries().values():
+            assert is_treewidth_at_most_2(q), q.name
+
+    def test_satellite_passes(self):
+        assert is_treewidth_at_most_2(satellite())
+
+    def test_disconnected_handled(self):
+        q = QueryGraph([(0, 1), (2, 3), (3, 4), (4, 2)])
+        assert is_treewidth_at_most_2(q)
+
+
+class TestExactTreewidth:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: path_query(4), 1),
+            (lambda: star_query(5), 1),
+            (lambda: cycle_query(5), 2),
+            (lambda: diamond(), 2),
+            (lambda: clique(4), 3),
+            (lambda: clique(5), 4),
+            (lambda: satellite(), 2),
+        ],
+    )
+    def test_known_values(self, builder, expected):
+        assert treewidth(builder()) == expected
+
+    def test_single_node(self):
+        assert treewidth(QueryGraph([], nodes=[0])) == 0
+
+    def test_single_edge(self):
+        assert treewidth(QueryGraph([(0, 1)])) == 1
+
+    def test_agrees_with_recognizer(self, rng):
+        # random small graphs: tw<=2 recognizer must agree with exact tw
+        import numpy as np
+
+        for seed in range(20):
+            r = np.random.default_rng(seed)
+            n = int(r.integers(3, 8))
+            edges = []
+            for i in range(n):
+                for j in range(i + 1, n):
+                    if r.random() < 0.45:
+                        edges.append((i, j))
+            q = QueryGraph(edges, nodes=range(n))
+            assert is_treewidth_at_most_2(q) == (treewidth(q) <= 2)
+
+    def test_paper_queries_exact_tw2(self):
+        for name, q in paper_queries().items():
+            assert treewidth(q) == 2, name

@@ -1,0 +1,72 @@
+"""Tests for the decomposition-plan validator."""
+
+import numpy as np
+import pytest
+
+from repro.decomposition import (
+    PlanValidationError,
+    build_decomposition,
+    enumerate_plans,
+    validate_plan,
+)
+from repro.decomposition.blocks import CYCLE, Block
+from repro.decomposition.tree import Plan
+from repro.query import (
+    all_fixture_queries,
+    cycle_query,
+    paper_queries,
+    random_tw2_query,
+    satellite,
+)
+
+
+class TestValidPlans:
+    def test_all_fixture_plans_valid(self):
+        for q in all_fixture_queries():
+            for plan in enumerate_plans(q)[:6]:
+                validate_plan(plan)
+
+    def test_satellite_all_plans_valid(self):
+        for plan in enumerate_plans(satellite()):
+            validate_plan(plan)
+
+    def test_random_queries_valid(self, rng):
+        for _ in range(30):
+            q = random_tw2_query(rng, max_k=9)
+            validate_plan(build_decomposition(q))
+
+
+class TestInvalidPlansRejected:
+    def test_corrupt_boundary_detected(self):
+        q = paper_queries()["wiki"]
+        plan = build_decomposition(q)
+        # find a cycle block and break its boundary
+        for b in plan.blocks():
+            if b.kind == CYCLE and b.boundary:
+                b.boundary = tuple(
+                    n for n in b.nodes if n not in b.boundary
+                )[: len(b.boundary)]
+                break
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_missing_edge_detected(self):
+        q = cycle_query(5)
+        plan = build_decomposition(q)
+        # drop a node from the root cycle: edge coverage breaks
+        plan.root.nodes = plan.root.nodes[:-1]
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_tiny_cycle_detected(self):
+        q = cycle_query(3)
+        plan = build_decomposition(q)
+        plan.root.nodes = plan.root.nodes[:2]
+        with pytest.raises(PlanValidationError):
+            validate_plan(plan)
+
+    def test_wrong_query_detected(self):
+        plan = build_decomposition(cycle_query(4))
+        impostor = Plan(cycle_query(5), plan.root)
+        with pytest.raises(PlanValidationError):
+            validate_plan(impostor)
