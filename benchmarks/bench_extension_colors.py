@@ -11,17 +11,15 @@ reports relative std and per-trial wall time — the precision/cost
 trade-off that Figure 15's protocol would show under the extension.
 """
 
-import time
-
 import numpy as np
 import pytest
 
 from repro.bench import dataset
-from repro.counting import estimate_matches
 from repro.counting.estimator import normalization_factor
+from repro.engine import CountingEngine, CountRequest
 from repro.query import paper_query
 
-from bench_common import bench_plan, emit_table
+from bench_common import emit_table
 
 CASES = [("condmat", "glet1"), ("enron", "glet2")]
 PALETTES = [0, 1, 2, 4]  # extra colors beyond k
@@ -33,25 +31,25 @@ def test_extension_palette_sweep(benchmark):
     for gname, qname in CASES:
         g = dataset(gname)
         q = paper_query(qname)
-        plan = bench_plan(qname)
-        for extra in PALETTES:
-            c = q.k + extra
-            t0 = time.perf_counter()
-            result = estimate_matches(
-                g, q, trials=TRIALS, seed=123, plan=plan, num_colors=c
-            )
-            dt = (time.perf_counter() - t0) / TRIALS
+        # one engine per graph: the plan is built once for the whole sweep
+        engine = CountingEngine(g)
+        results = engine.count_many(
+            CountRequest(query=q, trials=TRIALS, seed=123, num_colors=q.k + extra)
+            for extra in PALETTES
+        )
+        for result in results:
             rows.append(
                 {
                     "graph": gname,
                     "query": qname,
-                    "colors": c,
-                    "scale": normalization_factor(q.k, c),
+                    "colors": result.num_colors,
+                    "scale": normalization_factor(q.k, result.num_colors),
                     "estimate": result.estimate,
                     "rel_std": result.relative_std,
-                    "s_per_trial": dt,
+                    "s_per_trial": result.time_per_trial,
                 }
             )
+        assert engine.stats.plan_builds == 1  # cache shared across palettes
     emit_table(
         "extension_colors",
         rows,
@@ -70,9 +68,8 @@ def test_extension_palette_sweep(benchmark):
 
     g = dataset("condmat")
     q = paper_query("glet1")
-    plan = bench_plan("glet1")
+    engine = CountingEngine(g)
+    engine.plan_for(q)  # warm the plan cache; benchmark measures counting only
     benchmark(
-        lambda: estimate_matches(
-            g, q, trials=1, seed=3, plan=plan, num_colors=q.k + 2
-        ).estimate
+        lambda: engine.count(q, trials=1, seed=3, num_colors=q.k + 2).estimate
     )

@@ -1,21 +1,25 @@
 #!/usr/bin/env python
-"""Quickstart: count a cyclic motif in a scale-free network.
+"""Quickstart: the `CountingEngine` in three moves.
 
-Walks the full pipeline of the paper on a small synthetic social network:
+Walks the full pipeline of the paper on a small synthetic social network
+through the unified engine API:
 
-1. build a data graph,
-2. pick a treewidth-2 query from the Figure 8 library,
-3. let the planner choose a decomposition tree,
-4. run the color-coding estimator with the DB algorithm,
-5. convert matches to subgraph counts and sanity-check against brute force.
+1. build a data graph and bind a `CountingEngine` to it,
+2. single query  — `engine.count(q)` returns a `RunResult` with the
+   estimate, the chosen decomposition plan and per-trial timings,
+3. batched      — `engine.count_many(queries)` shares the plan cache, so
+   each query is planned exactly once for the whole batch,
+4. parallel     — `engine.count(q, workers=4)` fans the independent
+   color-coding trials out over processes, bit-identical to the
+   sequential run for the same seed,
+5. sanity-check the estimate against brute force.
 
 Run:  python examples/quickstart.py
 """
 
 import numpy as np
 
-from repro import count, count_exact, paper_query
-from repro.decomposition import choose_plan
+from repro import CountingEngine, paper_query
 from repro.graph import chung_lu_power_law
 from repro.graph.properties import graph_summary, largest_component_subgraph
 from repro.query import automorphism_count
@@ -24,33 +28,51 @@ from repro.query import automorphism_count
 def main() -> None:
     rng = np.random.default_rng(7)
 
-    # 1. A ~300-node power-law data graph (small enough to brute force).
+    # 1. A ~300-node power-law data graph (small enough to brute force),
+    #    and an engine session bound to it.
     g = largest_component_subgraph(
         chung_lu_power_law(300, alpha=1.7, rng=rng, name="demo-social")
     )
     print("data graph:", graph_summary(g))
+    engine = CountingEngine(g)  # defaults: DB kernel, 10 trials
 
-    # 2. The 4-cycle graphlet query (Figure 8's glet1).
+    # 2. Single query: the 4-cycle graphlet (Figure 8's glet1).
     q = paper_query("glet1")
-    print(f"query: {q.name} with k={q.k} nodes, {q.num_edges()} edges")
-
-    # 3. The decomposition tree the Section 6 heuristic picks.
-    plan = choose_plan(q)
-    print("decomposition tree:")
-    print(plan.describe())
-
-    # 4. Color-coding estimation (10 random colorings, DB algorithm).
-    result = count(g, q, trials=10, seed=42, method="db", plan=plan)
+    result = engine.count(q, trials=10, seed=42)
+    print(f"\nquery: {q.name} with k={q.k} nodes, {q.num_edges()} edges")
+    print("decomposition tree (planned once, cached by the engine):")
+    print(result.plan.describe())
     print(f"colorful counts per trial: {result.colorful_counts}")
     print(f"estimated matches       : {result.estimate:,.0f}")
-    print(f"estimated subgraphs     : {result.estimate / automorphism_count(q):,.0f}")
+    print(f"estimated subgraphs     : {result.estimated_subgraphs(q):,.0f}")
     print(f"relative std            : {result.relative_std:.3f}")
+    print(f"wall clock              : {result.wall_clock:.3f}s "
+          f"({result.time_per_trial * 1e3:.1f} ms/trial)")
+
+    # 3. Batched: several queries through one call; the engine plans each
+    #    exactly once however many trials/batches reuse it.
+    batch = engine.count_many(
+        [paper_query(name) for name in ("glet1", "glet2", "youtube")],
+        trials=5, seed=42,
+    )
+    print("\nbatched census:")
+    for r in batch:
+        print(f"  {r.query_name:8s} estimate={r.estimate:12,.0f} "
+              f"rel_std={r.relative_std:.3f} plan_cached={r.plan_cached}")
+    print(f"engine stats: {engine.stats.snapshot()}")
+
+    # 4. Process-parallel trials: same seed, bit-identical estimate.
+    fast = engine.count(q, trials=10, seed=42, workers=4)
+    assert fast.colorful_counts == result.colorful_counts
+    print(f"\nparallel rerun (workers=4): estimate={fast.estimate:,.0f} "
+          f"wall={fast.wall_clock:.3f}s (bit-identical to sequential)")
 
     # 5. Ground truth (exponential brute force — fine at this scale).
-    exact = count_exact(g, q)
+    exact = engine.count_exact(q)
     err = abs(result.estimate - exact) / exact if exact else 0.0
     print(f"exact matches           : {exact:,}")
     print(f"estimation error        : {100 * err:.1f}%")
+    print(f"exact subgraphs         : {exact // automorphism_count(q):,}")
 
 
 if __name__ == "__main__":

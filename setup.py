@@ -1,11 +1,49 @@
-"""Legacy setup shim.
+"""Setuptools configuration (classic code path).
 
-The execution environment has no network access and no ``wheel`` package,
-so PEP 517 editable installs (which build a wheel) fail.  This shim lets
-``python setup.py develop`` / ``pip install -e . --no-build-isolation``
-fall back to the classic setuptools code path.
+The execution environment has no network access and no ``wheel``
+package, so PEP 517 editable installs (which build a wheel) fail.  This
+classic ``setup.py`` keeps ``python setup.py develop`` /
+``pip install -e . --no-build-isolation`` working while declaring the
+full package metadata: the ``repro-count`` console script and the
+``numpy`` runtime requirement.
 """
 
-from setuptools import setup
+import os
 
-setup()
+from setuptools import find_packages, setup
+
+
+def _readme() -> str:
+    path = os.path.join(os.path.dirname(os.path.abspath(__file__)), "README.md")
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return fh.read()
+    except OSError:
+        return ""
+
+
+setup(
+    name="repro-color-coding",
+    version="1.1.0",
+    description=(
+        "Reproduction of 'Subgraph Counting: Color Coding Beyond Trees' "
+        "(IPDPS 2016): treewidth-2 subgraph counting with the DB algorithm"
+    ),
+    long_description=_readme(),
+    long_description_content_type="text/markdown",
+    license="MIT",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+    entry_points={
+        "console_scripts": [
+            "repro-count=repro.cli:main",
+        ]
+    },
+    classifiers=[
+        "Programming Language :: Python :: 3",
+        "License :: OSI Approved :: MIT License",
+        "Topic :: Scientific/Engineering",
+    ],
+)

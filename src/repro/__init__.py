@@ -12,18 +12,21 @@ Public surface (see subpackages for the full API):
 * :mod:`repro.decomposition` — decomposition trees and the plan heuristic;
 * :mod:`repro.counting` — the PS baseline, the DB algorithm, the treelet
   DP, brute-force references and the color-coding estimator;
+* :mod:`repro.engine` — the unified counting engine (pluggable backends,
+  plan/partition caches, batch + process-parallel execution);
 * :mod:`repro.distributed` — the simulated distributed engine;
 * :mod:`repro.theory` — the Section 9 analysis toolkit;
 * :mod:`repro.bench` — dataset stand-ins and the experiment harness.
 """
 
-from . import counting, decomposition, distributed, graph, motifs, query, tables
+from . import counting, decomposition, distributed, engine, graph, motifs, query, tables
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 # Convenience re-exports for the quickstart path.
 from .counting import count, count_colorful, count_exact, estimate_matches, make_context
 from .decomposition import build_decomposition, choose_plan, enumerate_plans
+from .engine import CountingEngine, CountRequest, EngineConfig, RunResult
 from .graph import Graph
 from .query import QueryGraph, paper_queries, paper_query
 
@@ -32,6 +35,10 @@ __all__ = [
     "QueryGraph",
     "paper_query",
     "paper_queries",
+    "CountingEngine",
+    "CountRequest",
+    "EngineConfig",
+    "RunResult",
     "count",
     "count_colorful",
     "count_exact",
@@ -43,6 +50,7 @@ __all__ = [
     "counting",
     "decomposition",
     "distributed",
+    "engine",
     "graph",
     "motifs",
     "query",

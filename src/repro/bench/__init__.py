@@ -7,11 +7,13 @@ from .harness import (
     SIM_RANKS_LOW,
     Timer,
     bench_scale,
+    engine_for,
     format_table,
     geometric_mean,
     grid_graph_names,
     grid_query_names,
     print_table,
+    run_query_grid,
 )
 
 __all__ = [
@@ -27,6 +29,8 @@ __all__ = [
     "geometric_mean",
     "grid_graph_names",
     "grid_query_names",
+    "engine_for",
+    "run_query_grid",
     "SIM_RANKS_LOW",
     "SIM_RANKS_HIGH",
     "collect_results",

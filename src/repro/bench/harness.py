@@ -14,6 +14,9 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
+from ..engine import CountingEngine, CountRequest, RunResult
+from ..graph.graph import Graph
+
 __all__ = [
     "bench_scale",
     "format_table",
@@ -22,6 +25,8 @@ __all__ = [
     "geometric_mean",
     "grid_graph_names",
     "grid_query_names",
+    "engine_for",
+    "run_query_grid",
     "SIM_RANKS_LOW",
     "SIM_RANKS_HIGH",
 ]
@@ -76,6 +81,41 @@ def grid_query_names(light: bool = False) -> List[str]:
     if light or bench_scale() < 1.0:
         return ["glet1", "youtube", "wiki", "dros"]
     return full
+
+
+def engine_for(g: Graph, **config_overrides) -> CountingEngine:
+    """A fresh :class:`CountingEngine` for one benchmark's graph.
+
+    Benchmarks that sweep queries over one graph should create the
+    engine once and batch through :func:`run_query_grid` so each query
+    is planned exactly once for the whole sweep.
+    """
+    return CountingEngine(g, **config_overrides)
+
+
+def run_query_grid(
+    g: Graph,
+    queries: Sequence,
+    trials: int,
+    seed: int,
+    method: str = "db",
+    num_colors: Optional[int] = None,
+    engine: Optional[CountingEngine] = None,
+) -> List[RunResult]:
+    """One batched engine pass over ``queries`` (the Fig 8-10/15 shape).
+
+    Every query's decomposition plan is built once and shared by all its
+    trials; results are bit-identical to per-query ``estimate_matches``
+    calls with the same ``trials``/``seed``.
+    """
+    engine = engine if engine is not None else engine_for(g)
+    requests = [
+        CountRequest(
+            query=q, trials=trials, seed=seed, method=method, num_colors=num_colors
+        )
+        for q in queries
+    ]
+    return engine.count_many(requests)
 
 
 class Timer:

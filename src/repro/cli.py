@@ -16,17 +16,16 @@ from __future__ import annotations
 
 import argparse
 import sys
-import time
 from typing import List, Optional
 
 import numpy as np
 
 from .bench.datasets import dataset, dataset_names
-from .counting.estimator import estimate_matches
 from .decomposition.enumeration import enumerate_plans
 from .decomposition.planner import choose_plan
 from .graph.io import read_edge_list
 from .graph.properties import graph_summary
+from .engine import CountingEngine, available_backends
 from .query.automorphisms import automorphism_count
 from .query.library import PAPER_QUERY_SIZES, paper_queries, paper_query
 from .query.treewidth import treewidth
@@ -41,19 +40,29 @@ def _load_graph(arg: str):
 def _cmd_count(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph)
     q = paper_query(args.query)
-    t0 = time.perf_counter()
-    result = estimate_matches(
-        g, q, trials=args.trials, seed=args.seed, method=args.method
-    )
-    dt = time.perf_counter() - t0
+    engine = CountingEngine(g)
+    try:
+        result = engine.count(
+            q,
+            trials=args.trials,
+            seed=args.seed,
+            method=args.method,
+            num_colors=args.num_colors,
+            workers=args.workers,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    palette = f", num_colors={result.num_colors}" if result.num_colors != q.k else ""
+    workers = f", workers={result.workers}" if result.workers > 1 else ""
     print(f"graph          : {g.name} (n={g.n}, m={g.m})")
     print(f"query          : {q.name} (k={q.k})")
-    print(f"method         : {args.method}, trials={args.trials}")
+    print(f"method         : {result.method}, trials={args.trials}{palette}{workers}")
     print(f"colorful counts: {result.colorful_counts}")
     print(f"match estimate : {result.estimate:.6g}")
     print(f"subgraph est.  : {result.estimate / automorphism_count(q):.6g}")
     print(f"rel. std       : {result.relative_std:.4f}")
-    print(f"elapsed        : {dt:.2f}s")
+    print(f"elapsed        : {result.wall_clock:.2f}s")
     return 0
 
 
@@ -148,9 +157,22 @@ def build_parser() -> argparse.ArgumentParser:
     p_count = sub.add_parser("count", help="approximate match counting")
     p_count.add_argument("--graph", required=True, help="dataset name or edge-list path")
     p_count.add_argument("--query", required=True, help="paper query name (see `queries`)")
-    p_count.add_argument("--method", choices=("ps", "db"), default="db")
+    p_count.add_argument(
+        "--method",
+        choices=tuple(available_backends()) + ("auto",),
+        default="db",
+        help="counting backend; 'auto' picks per query (default: db)",
+    )
     p_count.add_argument("--trials", type=int, default=5)
     p_count.add_argument("--seed", type=int, default=0)
+    p_count.add_argument(
+        "--num-colors", type=int, default=None,
+        help="palette size >= k (variance-reduction extension; default: k)",
+    )
+    p_count.add_argument(
+        "--workers", type=int, default=1,
+        help="process-parallel trials (default: 1, sequential)",
+    )
     p_count.set_defaults(func=_cmd_count)
 
     p_plan = sub.add_parser("plan", help="show the chosen decomposition tree")

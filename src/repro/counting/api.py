@@ -1,32 +1,37 @@
-"""High-level public API for subgraph counting.
+"""High-level counting API — deprecated shims over :mod:`repro.engine`.
 
-Typical use::
+.. deprecated::
+    These free functions predate the session-oriented
+    :class:`repro.engine.CountingEngine`, which caches decomposition
+    plans, batches queries and exposes pluggable backends.  They remain
+    as thin wrappers (one ephemeral engine per call) for backward
+    compatibility::
 
-    from repro import counting, graph, query
+        # legacy                      # preferred
+        counting.count(g, q, ...)     CountingEngine(g).count(q, ...)
+        counting.count_colorful(...)  CountingEngine(g).count_colorful(...)
+        counting.count_exact(g, q)    CountingEngine(g).count_exact(q)
 
-    g = graph.chung_lu_power_law(500, alpha=1.9, rng=np.random.default_rng(0))
-    q = query.paper_query("brain1")
-    result = counting.count(g, q, trials=5, seed=1)
+Typical modern use::
+
+    from repro.engine import CountingEngine
+
+    engine = CountingEngine(g)
+    result = engine.count(q, trials=5, seed=1)
     print(result.estimate, "matches ~", result.estimated_subgraphs(q), "subgraphs")
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Optional, Sequence
 
-import numpy as np
-
-from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
 from ..distributed.partition import make_partition
 from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
-from .bruteforce import count_matches
-from .db import count_colorful_db
-from .estimator import EstimateResult, estimate_matches
-from .ps import count_colorful_ps
-from .solver import solve_plan
+from .estimator import EstimateResult
 
 __all__ = [
     "count_colorful",
@@ -34,6 +39,14 @@ __all__ = [
     "count_exact",
     "make_context",
 ]
+
+
+def _deprecated(old: str, new: str) -> None:
+    warnings.warn(
+        f"repro.counting.{old} is deprecated; use repro.engine.{new}",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def make_context(
@@ -50,16 +63,18 @@ def count_colorful(
     method: str = "db",
     plan: Optional[Plan] = None,
     ctx: Optional[ExecutionContext] = None,
+    num_colors: Optional[int] = None,
 ) -> int:
-    """Colorful matches under a fixed coloring with the chosen method."""
-    if method == "db":
-        return count_colorful_db(g, query, colors, plan=plan, ctx=ctx)
-    if method == "ps":
-        return count_colorful_ps(g, query, colors, plan=plan, ctx=ctx)
-    if method == "ps-even":
-        plan = plan or heuristic_plan(query)
-        return solve_plan(plan, g, np.asarray(colors), ctx=ctx, method="ps-even")
-    raise ValueError(f"unknown method {method!r}; use 'ps', 'db' or 'ps-even'")
+    """Colorful matches under a fixed coloring with the chosen method.
+
+    .. deprecated:: use :meth:`repro.engine.CountingEngine.count_colorful`.
+    """
+    from ..engine import CountingEngine
+
+    _deprecated("count_colorful", "CountingEngine.count_colorful")
+    return CountingEngine(g).count_colorful(
+        query, colors, method=method, plan=plan, ctx=ctx, num_colors=num_colors
+    )
 
 
 def count(
@@ -70,13 +85,34 @@ def count(
     method: str = "db",
     plan: Optional[Plan] = None,
     ctx: Optional[ExecutionContext] = None,
+    num_colors: Optional[int] = None,
+    workers: int = 1,
 ) -> EstimateResult:
-    """Approximate match counting by repeated color-coding trials."""
-    return estimate_matches(
-        g, query, trials=trials, seed=seed, method=method, plan=plan, ctx=ctx
+    """Approximate match counting by repeated color-coding trials.
+
+    .. deprecated:: use :meth:`repro.engine.CountingEngine.count`.
+    """
+    from ..engine import CountingEngine
+
+    _deprecated("count", "CountingEngine.count")
+    return CountingEngine(g).count(
+        query,
+        trials=trials,
+        seed=seed,
+        method=method,
+        plan=plan,
+        ctx=ctx,
+        num_colors=num_colors,
+        workers=workers,
     )
 
 
 def count_exact(g: Graph, query: QueryGraph) -> int:
-    """Exact match count by brute force (small inputs only)."""
-    return count_matches(g, query)
+    """Exact match count by brute force (small inputs only).
+
+    .. deprecated:: use :meth:`repro.engine.CountingEngine.count_exact`.
+    """
+    from ..engine import CountingEngine
+
+    _deprecated("count_exact", "CountingEngine.count_exact")
+    return CountingEngine(g).count_exact(query)

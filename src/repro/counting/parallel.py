@@ -1,48 +1,31 @@
-"""Process-parallel color-coding trials.
+"""Process-parallel color-coding trials — deprecated shim.
 
 The outermost loop of the estimator — independent random colorings — is
 embarrassingly parallel; the paper distributes *within* a trial (MPI
 ranks), while on a single machine Python's GIL makes thread-level
-parallelism useless for our dict-heavy kernels.  This module parallelises
-*across trials* with ``multiprocessing`` instead: each worker counts one
-coloring end to end.  The result is bit-identical to the sequential
-estimator for the same seed.
+parallelism useless for our dict-heavy kernels.  Worker-process fan-out
+now lives in :class:`repro.engine.CountingEngine` (``workers=N``), which
+draws colorings up front from the same deterministic batch the
+sequential estimator uses, so results are bit-identical to the
+sequential path for the same seed.
+
+.. deprecated::
+    Use ``CountingEngine(g).count(q, workers=N)`` instead.  This wrapper
+    remains for backward compatibility and returns the engine's
+    :class:`RunResult` (an :class:`EstimateResult` subclass).
 """
 
 from __future__ import annotations
 
-import multiprocessing as mp
-from typing import List, Optional
+import warnings
+from typing import Optional
 
-import numpy as np
-
-from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
-from .colorings import coloring_batch
-from .estimator import EstimateResult, normalization_factor
-from .solver import solve_plan
+from .estimator import EstimateResult
 
 __all__ = ["estimate_matches_parallel"]
-
-# module-level state for fork-style workers (set by the initializer)
-_WORKER_STATE: dict = {}
-
-
-def _init_worker(graph: Graph, plan: Plan, method: str) -> None:  # pragma: no cover
-    _WORKER_STATE["graph"] = graph
-    _WORKER_STATE["plan"] = plan
-    _WORKER_STATE["method"] = method
-
-
-def _run_trial(colors: np.ndarray) -> int:  # pragma: no cover - subprocess
-    return solve_plan(
-        _WORKER_STATE["plan"],
-        _WORKER_STATE["graph"],
-        colors,
-        method=_WORKER_STATE["method"],
-    )
 
 
 def estimate_matches_parallel(
@@ -58,34 +41,25 @@ def estimate_matches_parallel(
     """Like :func:`repro.counting.estimator.estimate_matches`, with trials
     fanned out over ``workers`` processes.
 
-    Colorings are drawn up front from the same deterministic batch the
-    sequential estimator would use, so results match it exactly.
-    Falls back to in-process execution when ``workers <= 1`` or trial
+    Falls back to in-process execution when ``workers <= 1`` or the trial
     count is tiny (process startup would dominate).
+
+    .. deprecated:: use ``CountingEngine(g).count(q, workers=N)``.
     """
-    if trials < 1:
-        raise ValueError("need at least one trial")
-    plan = plan or heuristic_plan(query)
-    k = query.k
-    colorings = coloring_batch(g.n, k, trials, seed, strategy=coloring_strategy)
+    from ..engine import CountingEngine
 
-    if workers <= 1 or trials < 2:
-        counts: List[int] = [
-            solve_plan(plan, g, colors, method=method) for colors in colorings
-        ]
-    else:
-        ctx = mp.get_context("fork") if hasattr(mp, "get_context") else mp
-        with ctx.Pool(
-            processes=min(workers, trials),
-            initializer=_init_worker,
-            initargs=(g, plan, method),
-        ) as pool:
-            counts = pool.map(_run_trial, colorings)
-
-    return EstimateResult(
-        query_name=query.name,
-        graph_name=g.name,
+    warnings.warn(
+        "repro.counting.estimate_matches_parallel is deprecated; use "
+        "repro.engine.CountingEngine.count(..., workers=N)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return CountingEngine(g).count(
+        query,
         trials=trials,
-        colorful_counts=[int(c) for c in counts],
-        scale=normalization_factor(k),
+        seed=seed,
+        method=method,
+        plan=plan,
+        workers=workers,
+        coloring_strategy=coloring_strategy,
     )

@@ -1,0 +1,54 @@
+"""Unified counting engine: pluggable backends, plan reuse, batching.
+
+This package is the public entry point for counting workloads.  Where
+the legacy surface scattered the pipeline over free functions with
+divergent signatures, the engine binds a session to one data graph and
+funnels every query through one coherent API::
+
+    from repro.engine import CountingEngine
+
+    engine = CountingEngine(g)                       # DB kernel defaults
+    result = engine.count(q, trials=5, seed=1)       # RunResult
+    batch  = engine.count_many(queries, trials=5)    # shared plan cache
+    fast   = engine.count(q, workers=4)              # process-parallel trials
+
+Pieces:
+
+* :class:`CountingEngine` — the session object (plan/partition caches,
+  batch execution, worker dispatch, simulated-rank contexts);
+* :class:`EngineConfig` / :class:`CountRequest` — immutable parameter
+  objects replacing long positional signatures;
+* :class:`RunResult` — estimate + provenance (backend, plan, timings,
+  optional :class:`LoadStats`);
+* :class:`BackendRegistry` / :func:`register_backend` — the pluggable
+  kernel seam (``ps``, ``db``, ``ps-even``, ``treelet``, ``bruteforce``
+  built in; ``method="auto"`` picks per query).
+"""
+
+from .backends import (
+    AUTO,
+    BackendRegistry,
+    CountingBackend,
+    DEFAULT_REGISTRY,
+    available_backends,
+    get_backend,
+    register_backend,
+)
+from .config import CountRequest, EngineConfig
+from .engine import CountingEngine, EngineStats
+from .result import RunResult
+
+__all__ = [
+    "CountingEngine",
+    "EngineStats",
+    "EngineConfig",
+    "CountRequest",
+    "RunResult",
+    "CountingBackend",
+    "BackendRegistry",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "DEFAULT_REGISTRY",
+    "AUTO",
+]

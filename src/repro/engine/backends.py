@@ -1,0 +1,301 @@
+"""Pluggable counting backends behind one protocol.
+
+Every kernel in the repo — the PS baseline, the DB contribution, the
+``ps-even`` ablation, the FASCIA-style treelet DP and the brute-force
+reference — is wrapped as a :class:`CountingBackend`: one object with a
+uniform ``count_colorful(g, query, colors, ...)`` surface plus the
+capability flags the engine needs for dispatch (does it consume a
+decomposition plan? can it attribute work to simulated ranks? which
+queries/palettes does it support?).
+
+Backends live in a :class:`BackendRegistry`.  Registering a new kernel
+is a decorator::
+
+    @register_backend("mykernel")
+    def my_kernel(g, query, colors, *, plan, ctx, num_colors):
+        return ...  # colorful-match count under ``colors``
+
+``method="auto"`` asks the registry to pick per query: the treelet DP
+for acyclic queries under the paper's ``num_colors == k`` palette, DB
+everywhere else.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from ..query.treewidth import is_tree
+from ..counting.bruteforce import count_colorful_matches
+from ..counting.solver import METHODS, solve_plan
+from ..counting.treelet import count_colorful_treelet
+
+__all__ = [
+    "CountingBackend",
+    "BackendRegistry",
+    "register_backend",
+    "get_backend",
+    "available_backends",
+    "DEFAULT_REGISTRY",
+    "AUTO",
+]
+
+#: sentinel method name resolved per query by the registry
+AUTO = "auto"
+
+
+class CountingBackend:
+    """One counting kernel behind the engine's uniform interface.
+
+    Subclasses (or function backends built by :func:`register_backend`)
+    implement :meth:`count_colorful` and advertise capabilities through
+    ``needs_plan`` (consumes a decomposition plan) and ``tracks_load``
+    (threads an :class:`ExecutionContext` for simulated-rank accounting).
+    """
+
+    #: registry key; also reported in RunResult provenance
+    name: str = ""
+    #: whether the kernel consumes a decomposition plan
+    needs_plan: bool = False
+    #: whether the kernel attributes operations to a simulated context
+    tracks_load: bool = False
+
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
+        """Whether this backend can count ``query`` under the palette."""
+        return True
+
+    def check(self, query: QueryGraph, num_colors: Optional[int] = None) -> None:
+        """Raise ``ValueError`` when :meth:`supports` is False."""
+        if not self.supports(query, num_colors):
+            raise ValueError(
+                f"backend {self.name!r} does not support query "
+                f"{query.name!r} (k={query.k}, num_colors={num_colors})"
+            )
+
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
+        """Colorful matches of ``query`` in ``g`` under ``colors``."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r}>"
+
+
+class SolverBackend(CountingBackend):
+    """Plan-solver kernels (``ps``, ``db``, ``ps-even``) from Section 7."""
+
+    needs_plan = True
+    tracks_load = True
+
+    def __init__(self, method: str) -> None:
+        if method not in METHODS:
+            raise ValueError(f"solver method must be one of {METHODS}")
+        self.name = method
+
+    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+        """Solve the plan bottom-up with this backend's join method."""
+        plan = plan if plan is not None else heuristic_plan(query)
+        return solve_plan(
+            plan,
+            g,
+            np.asarray(colors),
+            ctx=ctx,
+            method=self.name,
+            num_colors=num_colors,
+        )
+
+
+class TreeletBackend(CountingBackend):
+    """FASCIA-style DP for acyclic queries (paper's treewidth-1 context)."""
+
+    name = "treelet"
+
+    def supports(self, query, num_colors=None):
+        """Trees only, and only the paper's exact ``k``-color palette."""
+        return is_tree(query) and (num_colors is None or num_colors == query.k)
+
+    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+        """Run the bottom-up treelet DP (plan and ctx are ignored)."""
+        self.check(query, num_colors)
+        return count_colorful_treelet(g, query, colors)
+
+
+class BruteforceBackend(CountingBackend):
+    """Exhaustive backtracking reference — exponential, validation only."""
+
+    name = "bruteforce"
+
+    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+        """Enumerate colorful matches directly (plan and ctx are ignored)."""
+        return count_colorful_matches(g, query, colors)
+
+
+class _FunctionBackend(CountingBackend):
+    """Adapter turning a plain counting function into a backend."""
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[..., int],
+        needs_plan: bool = False,
+        tracks_load: bool = False,
+        supports: Optional[Callable[[QueryGraph, Optional[int]], bool]] = None,
+    ) -> None:
+        self.name = name
+        self._fn = fn
+        self.needs_plan = needs_plan
+        self.tracks_load = tracks_load
+        self._supports = supports
+        self.__doc__ = fn.__doc__ or type(self).__doc__
+
+    def supports(self, query, num_colors=None):
+        """Delegate to the ``supports`` predicate given at registration."""
+        if self._supports is None:
+            return True
+        return self._supports(query, num_colors)
+
+    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+        """Call the wrapped counting function."""
+        return self._fn(g, query, colors, plan=plan, ctx=ctx, num_colors=num_colors)
+
+
+class BackendRegistry:
+    """Named collection of :class:`CountingBackend` objects.
+
+    The engine resolves ``method`` strings here; ``"auto"`` picks per
+    query.  Registries are cheap to construct, so tests can build
+    private ones, but most code shares :data:`DEFAULT_REGISTRY`.
+    """
+
+    def __init__(self) -> None:
+        self._backends: Dict[str, CountingBackend] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, backend: CountingBackend, replace: bool = False) -> CountingBackend:
+        """Add ``backend`` under its ``name``; duplicate names must opt in."""
+        if not backend.name:
+            raise ValueError("backend must have a non-empty name")
+        if backend.name == AUTO:
+            raise ValueError(f"{AUTO!r} is reserved for per-query dispatch")
+        if backend.name in self._backends and not replace:
+            raise ValueError(f"backend {backend.name!r} already registered")
+        self._backends[backend.name] = backend
+        return backend
+
+    def backend(
+        self,
+        name: str,
+        needs_plan: bool = False,
+        tracks_load: bool = False,
+        supports: Optional[Callable[[QueryGraph, Optional[int]], bool]] = None,
+        replace: bool = False,
+    ) -> Callable[[Callable[..., int]], CountingBackend]:
+        """Decorator: register ``fn(g, query, colors, *, plan, ctx,
+        num_colors) -> int`` as a backend named ``name``."""
+
+        def wrap(fn: Callable[..., int]) -> CountingBackend:
+            return self.register(
+                _FunctionBackend(
+                    name, fn, needs_plan=needs_plan,
+                    tracks_load=tracks_load, supports=supports,
+                ),
+                replace=replace,
+            )
+
+        return wrap
+
+    # ------------------------------------------------------------------
+    def get(self, name: str) -> CountingBackend:
+        """Backend by name; raises the legacy 'unknown method' error."""
+        try:
+            return self._backends[name]
+        except KeyError:
+            raise ValueError(
+                f"unknown method {name!r}; use one of {self.names()} or {AUTO!r}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Registered backend names in registration order."""
+        return list(self._backends)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._backends
+
+    def resolve(
+        self,
+        method: str,
+        query: QueryGraph,
+        num_colors: Optional[int] = None,
+        need_load_tracking: bool = False,
+    ) -> CountingBackend:
+        """Pick the backend for ``method`` (handling ``"auto"``) and
+        verify it supports the query/palette/tracking combination."""
+        if method == AUTO:
+            treelet = self._backends.get("treelet")
+            if (
+                not need_load_tracking
+                and treelet is not None
+                and treelet.supports(query, num_colors)
+            ):
+                backend = treelet
+            else:
+                backend = self.get("db")
+        else:
+            backend = self.get(method)
+        backend.check(query, num_colors)
+        if need_load_tracking and not backend.tracks_load:
+            raise ValueError(
+                f"backend {backend.name!r} cannot attribute load to "
+                "simulated ranks; use 'ps', 'db' or 'ps-even' with nranks > 1"
+            )
+        return backend
+
+
+def _make_default_registry() -> BackendRegistry:
+    reg = BackendRegistry()
+    for method in METHODS:  # ps, db, ps-even
+        reg.register(SolverBackend(method))
+    reg.register(TreeletBackend())
+    reg.register(BruteforceBackend())
+    return reg
+
+
+#: process-global registry shared by every engine that does not bring its own
+DEFAULT_REGISTRY = _make_default_registry()
+
+
+def register_backend(
+    name: str,
+    needs_plan: bool = False,
+    tracks_load: bool = False,
+    supports: Optional[Callable[[QueryGraph, Optional[int]], bool]] = None,
+    replace: bool = False,
+) -> Callable[[Callable[..., int]], CountingBackend]:
+    """Decorator registering a counting function in the default registry."""
+    return DEFAULT_REGISTRY.backend(
+        name, needs_plan=needs_plan, tracks_load=tracks_load,
+        supports=supports, replace=replace,
+    )
+
+
+def get_backend(name: str) -> CountingBackend:
+    """Backend by name from the default registry."""
+    return DEFAULT_REGISTRY.get(name)
+
+
+def available_backends() -> List[str]:
+    """Names registered in the default registry."""
+    return DEFAULT_REGISTRY.names()

@@ -1,0 +1,102 @@
+"""Immutable configuration objects for the counting engine.
+
+Two frozen dataclasses replace the long positional signatures of the
+legacy free functions:
+
+* :class:`EngineConfig` — per-engine defaults, fixed when the engine is
+  constructed (method, trials, seed, palette, workers, simulated ranks);
+* :class:`CountRequest` — one query execution; every field except the
+  query itself is optional and inherits from the engine's config when
+  left as ``None``.
+
+Both are hashable value objects: requests can be deduplicated, logged,
+or replayed, and a resolved request fully determines the estimate for a
+given graph (same seeds → bit-identical results).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Tuple
+
+from ..decomposition.tree import Plan
+from ..distributed.runtime import ExecutionContext
+from ..query.query import QueryGraph
+
+__all__ = ["EngineConfig", "CountRequest"]
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine-wide defaults applied to every request that omits a field.
+
+    ``method="db"`` keeps the paper's contribution as the default kernel;
+    pass ``method="auto"`` to let the registry pick per query (treelet DP
+    for trees, DB otherwise).  ``nranks > 1`` attaches a simulated-rank
+    execution context to every run and reports its :class:`LoadStats`.
+    """
+
+    method: str = "db"
+    trials: int = 10
+    seed: int = 0
+    num_colors: Optional[int] = None
+    workers: int = 1
+    nranks: int = 1
+    partition_strategy: str = "block"
+    coloring_strategy: str = "uniform"
+    #: relative cost of shipping one table entry vs one local operation,
+    #: used by RunResult.makespan/speedup on simulated (nranks>1) runs
+    kappa: float = 0.5
+    plan_limit: int = 20000
+
+    def replace(self, **changes) -> "EngineConfig":
+        """A copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+
+#: CountRequest fields that fall back to the engine config when ``None``.
+_INHERITED = (
+    "method",
+    "trials",
+    "seed",
+    "num_colors",
+    "workers",
+    "nranks",
+    "coloring_strategy",
+)
+
+
+@dataclass(frozen=True)
+class CountRequest:
+    """One counting job: a query plus optional per-request overrides.
+
+    ``None`` means "inherit from :class:`EngineConfig`" for every field
+    in ``method / trials / seed / num_colors / workers / nranks /
+    coloring_strategy``.  ``plan`` overrides the engine's plan cache and
+    ``ctx`` supplies an external :class:`ExecutionContext` (the legacy
+    ``make_context`` flow); both default to engine-managed objects.
+    """
+
+    query: QueryGraph
+    method: Optional[str] = None
+    trials: Optional[int] = None
+    seed: Optional[int] = None
+    num_colors: Optional[int] = None
+    workers: Optional[int] = None
+    nranks: Optional[int] = None
+    coloring_strategy: Optional[str] = None
+    plan: Optional[Plan] = None
+    ctx: Optional[ExecutionContext] = None
+
+    def resolved(self, config: EngineConfig) -> "CountRequest":
+        """This request with every ``None`` field filled from ``config``."""
+        changes = {
+            name: getattr(config, name)
+            for name in _INHERITED
+            if getattr(self, name) is None
+        }
+        return replace(self, **changes) if changes else self
+
+    def replace(self, **changes) -> "CountRequest":
+        """A copy of this request with ``changes`` applied."""
+        return replace(self, **changes)

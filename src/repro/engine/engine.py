@@ -1,0 +1,315 @@
+"""`CountingEngine` — session-oriented facade over the counting stack.
+
+An engine is bound to one data graph and owns the cross-query state the
+legacy free functions recomputed on every call:
+
+* a **plan cache** — the Section 6 planner runs exactly once per
+  distinct query structure, however many trials/requests reuse it;
+* a **partition cache** — simulated-rank partitions are built once per
+  ``(nranks, strategy)`` pair;
+* a **backend registry** — every kernel (PS, DB, ps-even, treelet DP,
+  brute force) behind one protocol, so ``method="auto"`` can pick per
+  query and new kernels plug in via a decorator.
+
+Single queries run through :meth:`CountingEngine.count`, batches through
+:meth:`CountingEngine.count_many`; both accept :class:`CountRequest`
+objects or raw queries plus keyword overrides.  ``workers=N`` fans the
+independent color-coding trials out over processes, bit-identical to the
+sequential path for the same seed (colorings are drawn up front from the
+same deterministic batch).
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import warnings
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from ..counting.colorings import coloring_batch
+from ..counting.bruteforce import count_matches
+from ..counting.estimator import normalization_factor
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..distributed.partition import Partition, make_partition
+from ..distributed.runtime import ExecutionContext
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+from .backends import BackendRegistry, DEFAULT_REGISTRY
+from .config import CountRequest, EngineConfig
+from .result import RunResult
+
+__all__ = ["CountingEngine", "EngineStats"]
+
+
+@dataclass
+class EngineStats:
+    """Cache/work counters for one engine (observability + tests).
+
+    ``plan_builds`` counts actual planner invocations; the batch-vs-loop
+    parity tests assert it stays at one per distinct query.
+    """
+
+    plan_builds: int = 0
+    plan_cache_hits: int = 0
+    partition_builds: int = 0
+    partition_cache_hits: int = 0
+    requests: int = 0
+    trials: int = 0
+
+    def snapshot(self) -> Dict[str, int]:
+        """Plain-dict copy (stable keys, safe to log/serialise)."""
+        return {
+            "plan_builds": self.plan_builds,
+            "plan_cache_hits": self.plan_cache_hits,
+            "partition_builds": self.partition_builds,
+            "partition_cache_hits": self.partition_cache_hits,
+            "requests": self.requests,
+            "trials": self.trials,
+        }
+
+
+# ----------------------------------------------------------------------
+# process-parallel trial execution (fork workers, module-level state)
+# ----------------------------------------------------------------------
+_WORKER_STATE: dict = {}
+
+
+def _init_worker(backend, graph, query, plan, num_colors):  # pragma: no cover
+    _WORKER_STATE.update(
+        backend=backend, graph=graph, query=query, plan=plan, num_colors=num_colors
+    )
+
+
+def _run_trial(colors) -> int:  # pragma: no cover - runs in subprocess
+    s = _WORKER_STATE
+    return s["backend"].count_colorful(
+        s["graph"], s["query"], colors, plan=s["plan"], num_colors=s["num_colors"]
+    )
+
+
+class CountingEngine:
+    """Counting session bound to one data graph.
+
+    Typical use::
+
+        engine = CountingEngine(g)                      # defaults: DB, 10 trials
+        result = engine.count(q, trials=5, seed=1)      # one query
+        results = engine.count_many(queries, trials=5)  # plan cache shared
+        fast = engine.count(q, workers=4)               # process-parallel trials
+
+    Construction is cheap; all caches fill lazily.  ``config`` may be an
+    :class:`EngineConfig` or keyword overrides (``CountingEngine(g,
+    method="auto", nranks=8)``).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[EngineConfig] = None,
+        registry: Optional[BackendRegistry] = None,
+        **overrides,
+    ) -> None:
+        self.graph = graph
+        base = config if config is not None else EngineConfig()
+        self.config = base.replace(**overrides) if overrides else base
+        self.registry = registry if registry is not None else DEFAULT_REGISTRY
+        self.stats = EngineStats()
+        self._plan_cache: Dict[QueryGraph, Plan] = {}
+        self._partition_cache: Dict[Tuple[int, str], Partition] = {}
+
+    # ------------------------------------------------------------------
+    # caches
+    # ------------------------------------------------------------------
+    def plan_for(self, query: QueryGraph) -> Plan:
+        """The cached decomposition plan for ``query`` (planning once)."""
+        plan, _ = self._plan_for(query)
+        return plan
+
+    def _plan_for(self, query: QueryGraph) -> Tuple[Plan, bool]:
+        plan = self._plan_cache.get(query)
+        if plan is not None:
+            self.stats.plan_cache_hits += 1
+            return plan, True
+        plan = heuristic_plan(query, limit=self.config.plan_limit)
+        self.stats.plan_builds += 1
+        self._plan_cache[query] = plan
+        return plan, False
+
+    def partition_for(self, nranks: int, strategy: Optional[str] = None) -> Partition:
+        """The cached vertex partition for ``(nranks, strategy)``."""
+        strategy = strategy or self.config.partition_strategy
+        key = (nranks, strategy)
+        part = self._partition_cache.get(key)
+        if part is not None:
+            self.stats.partition_cache_hits += 1
+            return part
+        part = make_partition(self.graph.n, nranks, strategy)
+        self.stats.partition_builds += 1
+        self._partition_cache[key] = part
+        return part
+
+    def make_context(self, nranks: Optional[int] = None, track: bool = True) -> ExecutionContext:
+        """Fresh execution context over the cached partition."""
+        nranks = nranks if nranks is not None else self.config.nranks
+        return ExecutionContext(self.partition_for(nranks), track=track)
+
+    def clear_caches(self) -> None:
+        """Drop cached plans and partitions (counters are kept)."""
+        self._plan_cache.clear()
+        self._partition_cache.clear()
+
+    # ------------------------------------------------------------------
+    # counting
+    # ------------------------------------------------------------------
+    def count_exact(self, query: QueryGraph) -> int:
+        """Exact match count by brute force (small inputs only)."""
+        return count_matches(self.graph, query)
+
+    def count_colorful(
+        self,
+        query: QueryGraph,
+        colors: Sequence[int],
+        method: Optional[str] = None,
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
+        """Colorful matches under one fixed coloring (no estimation)."""
+        method = method if method is not None else self.config.method
+        backend = self.registry.resolve(
+            method, query, num_colors, need_load_tracking=ctx is not None
+        )
+        if backend.needs_plan and plan is None:
+            plan, _ = self._plan_for(query)
+        return backend.count_colorful(
+            self.graph, query, colors, plan=plan, ctx=ctx, num_colors=num_colors
+        )
+
+    def count(self, request: Union[CountRequest, QueryGraph], **overrides) -> RunResult:
+        """Estimate the match count of one query.
+
+        ``request`` is a :class:`CountRequest` or a raw query; keyword
+        overrides win over both the request and the engine config.
+        Returns a :class:`RunResult` carrying the estimate plus
+        provenance (backend, plan, timings, optional load stats).
+
+        ``workers > 1`` and simulated-rank accounting are mutually
+        exclusive: with ``nranks > 1`` (or an explicit ``ctx``) trials
+        run sequentially and a warning is emitted; on platforms without
+        ``fork`` the engine silently falls back to sequential execution
+        (check ``RunResult.workers`` for what actually ran).
+        """
+        if isinstance(request, QueryGraph):
+            request = CountRequest(query=request)
+        if overrides:
+            request = request.replace(**overrides)
+        return self._execute(request.resolved(self.config))
+
+    def count_many(
+        self,
+        requests: Iterable[Union[CountRequest, QueryGraph]],
+        **overrides,
+    ) -> List[RunResult]:
+        """Run a batch of queries/requests against the shared caches.
+
+        Each query's plan is built exactly once per engine regardless of
+        how many requests (or trials) reuse it; results are bit-identical
+        to calling :meth:`count` per query with the same parameters.
+        """
+        return [self.count(req, **overrides) for req in requests]
+
+    # ------------------------------------------------------------------
+    def _execute(self, r: CountRequest) -> RunResult:
+        q = r.query
+        if r.trials < 1:
+            raise ValueError("need at least one trial")
+        k = q.k
+        kc = r.num_colors if r.num_colors is not None else k
+        if kc < k:
+            raise ValueError(f"need at least k={k} colors, got num_colors={kc}")
+
+        # external ctx (legacy make_context flow) wins over config nranks
+        ctx = r.ctx
+        if ctx is None and r.nranks > 1:
+            ctx = self.make_context(r.nranks)
+        backend = self.registry.resolve(
+            r.method, q, r.num_colors, need_load_tracking=ctx is not None
+        )
+
+        plan, plan_cached = r.plan, r.plan is not None
+        if plan is None and backend.needs_plan:
+            plan, plan_cached = self._plan_for(q)
+
+        colorings = coloring_batch(
+            self.graph.n, kc, r.trials, r.seed, strategy=r.coloring_strategy
+        )
+
+        workers = min(r.workers, r.trials)
+        if workers > 1 and ctx is not None:
+            # per-rank accounting mutates one shared context; trials must
+            # run in-process to keep the LoadStats coherent
+            warnings.warn(
+                "workers > 1 is ignored when a simulated-rank context is "
+                "attached (nranks > 1 or ctx=...); running trials sequentially",
+                stacklevel=3,
+            )
+        try:
+            # worker state is inherited by forked processes; platforms
+            # without fork (Windows) fall back to sequential execution
+            fork = mp.get_context("fork")
+        except ValueError:
+            fork = None
+        parallel = workers > 1 and r.trials >= 2 and ctx is None and fork is not None
+        t0 = time.perf_counter()
+        trial_times: Optional[List[float]]
+        if parallel:
+            with fork.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(backend, self.graph, q, plan, r.num_colors),
+            ) as pool:
+                counts = pool.map(_run_trial, colorings)
+            trial_times = None
+        else:
+            workers = 1
+            counts = []
+            trial_times = []
+            for colors in colorings:
+                t1 = time.perf_counter()
+                counts.append(
+                    backend.count_colorful(
+                        self.graph, q, colors, plan=plan, ctx=ctx,
+                        num_colors=r.num_colors,
+                    )
+                )
+                trial_times.append(time.perf_counter() - t1)
+        wall = time.perf_counter() - t0
+
+        self.stats.requests += 1
+        self.stats.trials += r.trials
+        return RunResult(
+            query_name=q.name,
+            graph_name=self.graph.name,
+            trials=r.trials,
+            colorful_counts=[int(c) for c in counts],
+            scale=normalization_factor(k, kc),
+            method=backend.name,
+            seed=r.seed,
+            num_colors=kc,
+            workers=workers,
+            plan=plan,
+            plan_cached=plan_cached,
+            trial_times=trial_times,
+            wall_clock=wall,
+            load=ctx.stats if ctx is not None and ctx.track else None,
+            kappa=self.config.kappa,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CountingEngine({self.graph.name or 'graph'!s}, n={self.graph.n}, "
+            f"m={self.graph.m}, method={self.config.method!r}, "
+            f"plans_cached={len(self._plan_cache)})"
+        )

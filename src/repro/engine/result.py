@@ -1,0 +1,76 @@
+"""Unified run result: the legacy estimate plus execution provenance.
+
+:class:`RunResult` subclasses the estimator's :class:`EstimateResult`
+(so every consumer of ``estimate`` / ``relative_std`` /
+``coefficient_of_variation`` keeps working unchanged) and records how
+the numbers were produced: which backend ran, under which seed/palette,
+the decomposition plan that was used (and whether it came from the
+engine's cache), per-trial wall-clock timings, and the simulated-rank
+:class:`LoadStats` when a distributed context was attached.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..counting.estimator import EstimateResult
+from ..decomposition.tree import Plan
+from ..distributed.runtime import LoadStats
+
+__all__ = ["RunResult"]
+
+
+@dataclass
+class RunResult(EstimateResult):
+    """Estimate plus provenance for one engine run.
+
+    Inherits the statistical surface of :class:`EstimateResult`
+    (``estimate``, ``colorful_mean``, ``relative_std``,
+    ``coefficient_of_variation``, ``estimated_subgraphs``); adds the
+    execution record.  ``trial_times`` is ``None`` for process-parallel
+    runs, where per-trial wall clocks are not individually meaningful.
+    """
+
+    method: str = ""
+    seed: int = 0
+    num_colors: int = 0
+    workers: int = 1
+    plan: Optional[Plan] = None
+    plan_cached: bool = False
+    trial_times: Optional[List[float]] = None
+    wall_clock: float = 0.0
+    load: Optional[LoadStats] = None
+    kappa: float = 0.5
+
+    @property
+    def time_per_trial(self) -> float:
+        """Average wall-clock seconds per trial."""
+        return self.wall_clock / self.trials if self.trials else 0.0
+
+    @property
+    def makespan(self) -> float:
+        """Modeled parallel time under the engine's ``kappa`` (simulated
+        runs only; 0.0 when no load statistics were tracked)."""
+        return self.load.makespan(self.kappa) if self.load is not None else 0.0
+
+    @property
+    def speedup(self) -> float:
+        """Modeled speedup over one rank (simulated runs only)."""
+        return self.load.speedup(self.kappa) if self.load is not None else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable digest (used by the CLI)."""
+        bits = [
+            f"{self.query_name} on {self.graph_name}",
+            f"method={self.method}",
+            f"trials={self.trials}",
+            f"estimate={self.estimate:.6g}",
+            f"rel_std={self.relative_std:.4f}",
+            f"wall={self.wall_clock:.3f}s",
+        ]
+        if self.workers > 1:
+            bits.insert(3, f"workers={self.workers}")
+        if self.load is not None:
+            bits.append(f"nranks={self.load.nranks}")
+        return "  ".join(bits)

@@ -15,12 +15,9 @@ provides:
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
-
-from ..counting.estimator import estimate_matches
-from ..decomposition.planner import heuristic_plan
+from ..engine import CountingEngine, CountRequest
 from ..graph.graph import Graph
 from ..query.automorphisms import automorphism_count
 from ..query.isomorphism import canonical_form
@@ -86,21 +83,33 @@ def motif_census(
     seed: int = 0,
     method: str = "db",
     num_colors: Optional[int] = None,
+    engine: Optional[CountingEngine] = None,
 ) -> List[CensusEntry]:
     """Census vector of ``g`` over ``motifs`` (default: all size-``k``
-    treewidth-2 motifs)."""
+    treewidth-2 motifs).
+
+    Runs as one :meth:`CountingEngine.count_many` batch, so each motif's
+    decomposition plan is built once and reused across trials — pass a
+    shared ``engine`` (bound to the same ``g``) to also reuse plans
+    across repeated censuses of one graph, e.g. sweeping trial counts
+    or palettes.
+    """
     motifs = list(motifs) if motifs is not None else all_tw2_motifs(k)
-    out: List[CensusEntry] = []
-    for i, q in enumerate(motifs):
-        plan = heuristic_plan(q)
-        result = estimate_matches(
-            g,
-            q,
+    if engine is not None and engine.graph is not g:
+        raise ValueError("engine is bound to a different graph than g")
+    engine = engine if engine is not None else CountingEngine(g)
+    requests = [
+        CountRequest(
+            query=q,
             trials=trials,
             seed=seed + 7 * i,
             method=method,
-            plan=plan,
             num_colors=num_colors,
         )
-        out.append(CensusEntry(q, result.estimate, result.relative_std))
-    return out
+        for i, q in enumerate(motifs)
+    ]
+    results = engine.count_many(requests)
+    return [
+        CensusEntry(q, result.estimate, result.relative_std)
+        for q, result in zip(motifs, results)
+    ]

@@ -8,6 +8,10 @@ from repro.counting import count_colorful_matches
 from repro.graph import erdos_renyi
 from repro.query import cycle_query, paper_query
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 
 class TestCountColorfulDispatch:
     def test_all_methods(self, rng):

@@ -14,6 +14,10 @@ from repro.counting import (
 from repro.graph import erdos_renyi
 from repro.query import cycle_query, paper_query
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 
 class TestColoringStrategies:
     def test_uniform_range(self, rng):

@@ -30,6 +30,9 @@ from repro.graph import (
 from repro.motifs import all_tw2_motifs, motif_census
 from repro.query import random_tw2_query, satellite
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
 
 class TestFullPipeline:
     def test_generate_plan_count_estimate(self, rng):

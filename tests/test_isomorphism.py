@@ -15,6 +15,10 @@ from repro.query import (
     path_query,
 )
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 
 class TestIsomorphism:
     def test_relabeled_cycles_isomorphic(self):

@@ -16,6 +16,10 @@ from repro.motifs import (
 )
 from repro.query import are_isomorphic, cycle_query, path_query
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 
 class TestMotifEnumeration:
     def test_k3_motifs(self):

@@ -11,6 +11,10 @@ from repro.query import (
     random_tw2_query,
 )
 
+# this module deliberately exercises the deprecated pre-engine shim API
+pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
+
+
 
 class TestSeriesParallel:
     def test_always_tw2(self, rng):
