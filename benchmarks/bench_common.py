@@ -13,7 +13,7 @@ from typing import Dict, List
 
 import numpy as np
 
-from repro.bench import dataset, format_table
+from repro.bench import dataset, format_table, write_bench_json
 from repro.counting.estimator import random_coloring
 from repro.decomposition import choose_plan
 from repro.query import paper_query
@@ -35,6 +35,15 @@ def emit_table(name: str, rows: List[Dict], columns=None, title: str = "", float
     print(text)
     print(f"[saved to {path}]")
     return text
+
+
+def emit_bench_json(name: str, records: List[Dict], **meta) -> str:
+    """Persist machine-comparable records as benchmarks/results/BENCH_<name>.json."""
+    path = write_bench_json(
+        os.path.join(RESULTS_DIR, f"BENCH_{name}.json"), records, **meta
+    )
+    print(f"[bench json saved to {path}]")
+    return path
 
 
 @lru_cache(maxsize=None)

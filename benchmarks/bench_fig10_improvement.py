@@ -14,10 +14,11 @@ import numpy as np
 import pytest
 
 from repro.bench import SIM_RANKS_HIGH, SIM_RANKS_LOW, dataset, geometric_mean
+from repro.counting import count_colorful_ps_vec
 from repro.distributed import DEFAULT_KAPPA, run_distributed
 from repro.query import paper_query
 
-from bench_common import bench_plan, coloring_for, emit_table
+from bench_common import bench_plan, coloring_for, emit_bench_json, emit_table
 
 GRAPHS = ["condmat", "enron", "epinions", "roadnetca"]
 QUERIES = ["glet1", "glet2", "youtube", "wiki", "dros"]
@@ -38,6 +39,8 @@ def test_fig10_improvement_factor(benchmark):
             ps = run_distributed(g, q, colors, SIM_RANKS_HIGH, method="ps", plan=plan)
             db = run_distributed(g, q, colors, SIM_RANKS_HIGH, method="db", plan=plan)
             assert ps.count == db.count
+            # the vectorized backend must agree with both dict kernels
+            assert count_colorful_ps_vec(g, q, colors, plan=plan) == ps.count
             factor = SIM_RANKS_HIGH // SIM_RANKS_LOW
             if_high = ps.makespan / db.makespan
             if_low = ps.stats.coarsen(factor).makespan(DEFAULT_KAPPA) / db.stats.coarsen(
@@ -85,6 +88,17 @@ def test_fig10_improvement_factor(benchmark):
         "fig10_summary",
         summary,
         title="Figure 10 summary (paper: 84%/89% wins, max 9.1x/28.7x, avg 2.4x/5.0x)",
+    )
+    emit_bench_json(
+        "fig10_improvement",
+        [
+            {
+                "key": f"fig10/{r['graph']}/{r['query']}",
+                "if_low": float(r[f"IF@{SIM_RANKS_LOW}"]),
+                "if_high": float(r[f"IF@{SIM_RANKS_HIGH}"]),
+            }
+            for r in rows
+        ],
     )
 
     # Paper shapes: DB wins the majority of skewed pairs; road net disagrees.

@@ -6,19 +6,27 @@ Section 6 heuristic (the "planner" layer, which the paper notes "takes
 insignificant amount of running time").
 """
 
+import time
+
 import pytest
 
+from repro.bench import bench_record
 from repro.decomposition import choose_plan, enumerate_plans
 from repro.query import PAPER_QUERY_SIZES, paper_queries, satellite, treewidth
 
-from bench_common import emit_table
+from bench_common import emit_bench_json, emit_table
 
 
 def test_fig8_query_inventory(benchmark):
     rows = []
+    planner_records = []
     for name, q in paper_queries().items():
+        t0 = time.perf_counter()
         plans = enumerate_plans(q)
         best = choose_plan(q)
+        planner_records.append(
+            bench_record("fig8_planner", "-", name, "planner", time.perf_counter() - t0)
+        )
         rows.append(
             {
                 "query": name,
@@ -45,6 +53,7 @@ def test_fig8_query_inventory(benchmark):
         }
     )
     emit_table("fig8", rows, title="Figure 8: query library (reconstructed)")
+    emit_bench_json("fig8_planner", planner_records)
 
     for r in rows:
         assert r["treewidth"] <= 2

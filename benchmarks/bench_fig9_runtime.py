@@ -7,7 +7,11 @@ roadNetCA is an order of magnitude cheaper than epinions despite being
 larger, and longer-cycle queries dominate.
 
 Here: wall-clock DB runs on the stand-in grid.  The *orderings* are the
-reproduction target, not absolute seconds.
+reproduction target, not absolute seconds.  A second test compares the
+dict-kernel PS baseline against the vectorized ``ps-vec`` backend on a
+small fixed config and records the per-pair speedups as a committed
+``BENCH_fig9_runtime.json`` (the perf-CI evidence that the vectorized
+sweep pays off).
 """
 
 import time
@@ -15,16 +19,21 @@ import time
 import numpy as np
 import pytest
 
-from repro.bench import dataset
+from repro.bench import bench_record, dataset, geometric_mean
 from repro.counting import count_colorful
 from repro.query import paper_query
 
-from bench_common import bench_plan, coloring_for, emit_table
+from bench_common import bench_plan, coloring_for, emit_bench_json, emit_table
 
 GRAPHS = ["condmat", "astroph", "enron", "brightkite", "roadnetca", "brain", "epinions"]
 QUERIES = ["glet1", "glet2", "youtube", "wiki", "dros"]
 # epinions x dros explodes under PS in other benches; keep it here (DB only)
 SKIP = set()
+
+#: the small fixed config for the PS vs ps-vec comparison (kept cheap so
+#: the JSON record can be refreshed on any machine in a few seconds)
+VEC_GRAPHS = ["condmat", "enron", "roadnetca"]
+VEC_QUERIES = ["glet1", "youtube", "wiki"]
 
 
 def _run_grid():
@@ -94,3 +103,61 @@ def test_fig9_average_runtime(benchmark):
     plan = bench_plan("wiki")
     colors = coloring_for("enron", "wiki")
     benchmark(lambda: count_colorful(g, q, colors, method="db", plan=plan))
+
+
+def test_fig9_vectorized_speedup(benchmark):
+    """PS vs ps-vec on the small fixed config: identical counts, >=3x faster.
+
+    Writes ``BENCH_fig9_runtime.json`` with one record per (pair, method)
+    plus the per-pair speedups — the committed perf evidence for the
+    vectorized DP sweep.
+    """
+    rows, records, speedups = [], [], []
+    for gname in VEC_GRAPHS:
+        g = dataset(gname)
+        for qname in VEC_QUERIES:
+            q = paper_query(qname)
+            plan = bench_plan(qname)
+            colors = coloring_for(gname, qname)
+            timings = {}
+            counts = {}
+            for method in ("ps", "ps-vec"):
+                best = np.inf
+                for _ in range(3):
+                    t0 = time.perf_counter()
+                    counts[method] = count_colorful(g, q, colors, method=method, plan=plan)
+                    best = min(best, time.perf_counter() - t0)
+                timings[method] = best
+                records.append(
+                    bench_record("fig9_runtime", gname, qname, method, best,
+                                 count=counts[method])
+                )
+            assert counts["ps"] == counts["ps-vec"], (gname, qname)
+            speedup = timings["ps"] / timings["ps-vec"]
+            speedups.append(speedup)
+            rows.append(
+                {
+                    "graph": gname,
+                    "query": qname,
+                    "ps_s": timings["ps"],
+                    "ps_vec_s": timings["ps-vec"],
+                    "speedup": speedup,
+                }
+            )
+    emit_table(
+        "fig9_vectorized", rows,
+        title="Figure 9 addendum: PS dict kernels vs ps-vec (same counts)",
+    )
+    emit_bench_json(
+        "fig9_runtime", records, geomean_speedup=geometric_mean(speedups)
+    )
+
+    # The acceptance bar: the vectorized path is >=3x faster on this config.
+    assert geometric_mean(speedups) >= 3.0
+
+    benchmark(
+        lambda: count_colorful(
+            dataset("enron"), paper_query("wiki"),
+            coloring_for("enron", "wiki"), method="ps-vec", plan=bench_plan("wiki"),
+        )
+    )

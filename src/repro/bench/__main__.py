@@ -1,0 +1,8 @@
+"""``python -m repro.bench`` — the perf-smoke runner / CI regression gate."""
+
+import sys
+
+from .harness import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,13 +1,23 @@
-"""Experiment harness: table formatting, scaled-down experiment grids.
+"""Experiment harness: table formatting, grids, perf records, CI gate.
 
 Every benchmark prints its results as an aligned text table (one per
 paper table/figure), with paper-reported reference values alongside where
 applicable.  ``REPRO_BENCH_SCALE`` (environment variable, default 1.0)
 scales workload sizes for quick smoke runs vs fuller sweeps.
+
+Besides the tables, benchmarks can emit machine-comparable timing records
+as ``BENCH_<name>.json`` files (:func:`bench_record` /
+:func:`write_bench_json`), and ``python -m repro.bench.harness`` runs the
+fixed **perf-smoke** grid, emits its JSON, and — with ``--baseline`` —
+fails (exit 1) when any tracked benchmark regresses more than the
+tolerance (default 2x) against the committed baseline.  CI runs exactly
+that; refresh the baseline with ``--update-baseline`` after intentional
+performance changes.
 """
 
 from __future__ import annotations
 
+import json
 import math
 import os
 import time
@@ -29,6 +39,15 @@ __all__ = [
     "run_query_grid",
     "SIM_RANKS_LOW",
     "SIM_RANKS_HIGH",
+    "bench_record",
+    "calibration_seconds",
+    "write_bench_json",
+    "load_bench_json",
+    "compare_to_baseline",
+    "run_perf_smoke",
+    "PERF_SMOKE_GRID",
+    "DEFAULT_TOLERANCE",
+    "main",
 ]
 
 #: Simulated rank counts standing in for the paper's 32 and 512 MPI ranks
@@ -180,3 +199,245 @@ def print_table(
     """Print an aligned table built by :func:`format_table`."""
     print()
     print(format_table(rows, columns=columns, title=title, floatfmt=floatfmt))
+
+
+# ----------------------------------------------------------------------
+# machine-comparable perf records + the CI regression gate
+# ----------------------------------------------------------------------
+
+#: default regression tolerance: a tracked benchmark fails CI when it is
+#: more than this factor slower than the committed baseline (override per
+#: run with --tolerance or the REPRO_BENCH_TOLERANCE environment variable)
+DEFAULT_TOLERANCE = 2.0
+
+#: the fixed perf-smoke grid: small enough for CI, big enough that each
+#: timing is tens of milliseconds (noise-robust under best-of-N)
+PERF_SMOKE_GRID = (
+    ("condmat", "glet1", "ps"),
+    ("condmat", "glet1", "ps-vec"),
+    ("condmat", "wiki", "ps"),
+    ("condmat", "wiki", "ps-vec"),
+    ("enron", "youtube", "ps"),
+    ("enron", "youtube", "ps-vec"),
+    ("enron", "wiki", "ps-vec"),
+    ("enron", "youtube", "db"),
+)
+
+
+def calibration_seconds(repeats: int = 3) -> float:
+    """Machine-speed probe: a fixed lexsort + segment-sum workload.
+
+    The instruction mix mirrors the vectorized kernels (sort, gather,
+    ``reduceat``), so dividing a benchmark's wall-clock by this number
+    yields a machine-relative figure: the perf gate can then compare a
+    CI runner against a baseline recorded on any other machine without
+    the absolute hardware speed polluting the ratio.
+    """
+    import numpy as np
+
+    n = 400_000
+    keys = (np.arange(n, dtype=np.int64) * 2654435761) % 1000003
+    vals = np.ones(n, dtype=np.int64)
+    best = math.inf
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        order = np.argsort(keys, kind="stable")
+        s = keys[order]
+        starts = np.flatnonzero(np.r_[True, s[1:] != s[:-1]])
+        total = int(np.add.reduceat(vals[order], starts).sum())
+        best = min(best, time.perf_counter() - t0)
+        assert total == n
+    return best
+
+
+def bench_record(
+    bench: str,
+    graph: str,
+    query: str,
+    method: str,
+    seconds: float,
+    count: Optional[int] = None,
+    **extra: object,
+) -> Dict[str, object]:
+    """One comparable timing record; ``key`` identifies it across runs."""
+    rec: Dict[str, object] = {
+        "key": f"{bench}/{graph}/{query}/{method}",
+        "bench": bench,
+        "graph": graph,
+        "query": query,
+        "method": method,
+        "seconds": float(seconds),
+    }
+    if count is not None:
+        rec["count"] = int(count)
+    rec.update(extra)
+    return rec
+
+
+def write_bench_json(path: str, records: Sequence[Dict[str, object]], **meta: object) -> str:
+    """Write records (plus meta) to ``path`` as a ``BENCH_*.json`` document."""
+    doc = {
+        "schema": "repro-bench/1",
+        "scale": bench_scale(),
+        **meta,
+        "records": list(records),
+    }
+    parent = os.path.dirname(os.path.abspath(path))
+    os.makedirs(parent, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=False)
+        fh.write("\n")
+    return path
+
+
+def load_bench_json(path: str) -> Dict[str, object]:
+    """Load a ``BENCH_*.json`` / ``baseline.json`` document."""
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def compare_to_baseline(
+    records: Sequence[Dict[str, object]],
+    baseline: Dict[str, object],
+    tolerance: float = DEFAULT_TOLERANCE,
+) -> List[Dict[str, object]]:
+    """Regressions of ``records`` against a baseline document.
+
+    Only keys present in both are compared (new benchmarks never fail the
+    gate; they start being tracked once the baseline is refreshed).
+    When both sides carry a ``calibrated`` figure (seconds divided by the
+    run's :func:`calibration_seconds`), the ratio compares those —
+    machine-relative, so a slower CI runner does not read as a code
+    regression; otherwise raw seconds are compared.  Returns one dict per
+    offending record with the slowdown ratio and the metric used.
+    """
+    base = {r["key"]: r for r in baseline.get("records", []) if "key" in r}
+    regressions = []
+    for rec in records:
+        ref = base.get(rec.get("key"))
+        if ref is None:
+            continue
+        if "calibrated" in rec and "calibrated" in ref:
+            metric = "calibrated"
+        elif "seconds" in rec and "seconds" in ref:
+            metric = "seconds"
+        else:
+            continue
+        prev = float(ref[metric])
+        if prev <= 0:
+            continue
+        ratio = float(rec[metric]) / prev
+        if ratio > tolerance:
+            regressions.append(
+                {
+                    "key": rec["key"],
+                    "current": float(rec[metric]),
+                    "baseline": prev,
+                    "ratio": ratio,
+                    "metric": metric,
+                }
+            )
+    return regressions
+
+
+def run_perf_smoke(repeats: int = 3) -> List[Dict[str, object]]:
+    """Run the fixed perf-smoke grid; each cell is best-of-``repeats``.
+
+    The grid pins one deterministic coloring per (graph, query) pair —
+    identical across methods and runs — so records compare kernels, not
+    color luck.  Every record carries both raw ``seconds`` and a
+    machine-relative ``calibrated`` figure (seconds over this run's
+    :func:`calibration_seconds`), which is what the gate compares.
+    """
+    from .datasets import dataset
+    from ..counting.colorings import uniform_coloring
+    from ..query.library import paper_query
+    import numpy as np
+
+    cal = calibration_seconds()
+    records = []
+    engines: Dict[str, CountingEngine] = {}
+    for gname, qname, method in PERF_SMOKE_GRID:
+        engine = engines.setdefault(gname, engine_for(dataset(gname)))
+        q = paper_query(qname)
+        rng = np.random.default_rng(2016 + q.k)
+        colors = uniform_coloring(engine.graph.n, q.k, rng)
+        plan = engine.plan_for(q)  # planning cost excluded: the gate tracks kernels
+        best, count = math.inf, None
+        for _ in range(max(1, repeats)):
+            t0 = time.perf_counter()
+            count = engine.count_colorful(q, colors, method=method, plan=plan)
+            best = min(best, time.perf_counter() - t0)
+        records.append(
+            bench_record(
+                "perf_smoke", gname, qname, method, best,
+                count=count, calibrated=best / cal,
+            )
+        )
+    return records
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """``python -m repro.bench.harness`` — perf-smoke runner and CI gate."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.harness",
+        description="Run the perf-smoke benchmark grid; emit/check BENCH JSON records.",
+    )
+    parser.add_argument(
+        "--emit-json", metavar="PATH", default=None,
+        help="write the run's records to PATH as a BENCH_*.json document",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", default=None,
+        help="compare against this baseline.json; exit 1 on any >tolerance regression",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite --baseline with this run's records instead of checking",
+    )
+    parser.add_argument(
+        "--tolerance", type=float,
+        default=float(os.environ.get("REPRO_BENCH_TOLERANCE", DEFAULT_TOLERANCE)),
+        help="slowdown factor that fails the gate (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="timing repeats per grid cell, best-of (default: 3)",
+    )
+    args = parser.parse_args(argv)
+    if args.update_baseline and not args.baseline:
+        parser.error("--update-baseline requires --baseline PATH")
+
+    records = run_perf_smoke(repeats=args.repeats)
+    print_table(
+        records, columns=["key", "seconds", "calibrated", "count"], title="perf-smoke"
+    )
+
+    if args.emit_json:
+        path = write_bench_json(args.emit_json, records)
+        print(f"[bench json written to {path}]")
+
+    if args.baseline and args.update_baseline:
+        path = write_bench_json(args.baseline, records)
+        print(f"[baseline updated at {path}]")
+        return 0
+    if args.baseline:
+        baseline = load_bench_json(args.baseline)
+        regressions = compare_to_baseline(records, baseline, tolerance=args.tolerance)
+        if regressions:
+            print_table(
+                regressions,
+                columns=["key", "current", "baseline", "ratio", "metric"],
+                title=f"REGRESSIONS (> {args.tolerance:g}x baseline)",
+            )
+            return 1
+        print(f"[perf gate OK: no benchmark slower than {args.tolerance:g}x baseline]")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    import sys
+
+    sys.exit(main())

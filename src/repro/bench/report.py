@@ -8,7 +8,7 @@ evaluation section, for the CLI's ``report`` subcommand.
 from __future__ import annotations
 
 import os
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 __all__ = ["collect_results", "render_report", "REPORT_ORDER"]
 

@@ -18,8 +18,9 @@ from .estimator import (
     random_coloring,
 )
 from .ps import count_colorful_ps
-from .solver import METHODS, BlockSolver, solve_plan
+from .solver import ALL_METHODS, METHODS, VEC_METHOD, BlockSolver, solve_plan
 from .treelet import count_colorful_treelet
+from .vectorized import count_colorful_ps_vec, solve_plan_vectorized
 
 __all__ = [
     "count",
@@ -29,11 +30,15 @@ __all__ = [
     "count_matches",
     "count_colorful_matches",
     "count_colorful_ps",
+    "count_colorful_ps_vec",
     "count_colorful_db",
     "count_colorful_treelet",
     "solve_plan",
+    "solve_plan_vectorized",
     "BlockSolver",
     "METHODS",
+    "VEC_METHOD",
+    "ALL_METHODS",
     "EstimateResult",
     "estimate_matches",
     "normalization_factor",

@@ -1,0 +1,43 @@
+"""Once-per-call-site deprecation warnings for the legacy counting API.
+
+``warnings.warn(..., DeprecationWarning)`` is filtered out entirely in
+most interpreter configurations (the default filters only show
+``DeprecationWarning`` raised from ``__main__``), so the legacy shims
+were effectively silent; and under ``simplefilter("always")`` they became
+noisy, repeating on every call inside a trial loop.  This helper pins the
+intended middle ground deterministically: each *call site* — the
+``(filename, lineno)`` that invoked the deprecated function — gets the
+warning exactly once per process, independent of the active filters'
+de-duplication state.
+"""
+
+from __future__ import annotations
+
+import sys
+import warnings
+
+__all__ = ["warn_once_per_site", "reset_warning_sites"]
+
+_seen_sites: set = set()
+
+
+def warn_once_per_site(message: str, *, stacklevel: int = 2) -> None:
+    """Emit ``DeprecationWarning`` once per calling ``(file, line)``.
+
+    ``stacklevel`` follows :func:`warnings.warn` as seen by our caller:
+    ``1`` is the caller itself, ``2`` its caller, and so on.
+    """
+    try:
+        frame = sys._getframe(stacklevel)
+        site = (frame.f_code.co_filename, frame.f_lineno)
+    except ValueError:  # stack shallower than stacklevel
+        site = ("<unknown>", 0)
+    if site in _seen_sites:
+        return
+    _seen_sites.add(site)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel + 1)
+
+
+def reset_warning_sites() -> None:
+    """Forget every recorded call site (test isolation hook)."""
+    _seen_sites.clear()

@@ -23,9 +23,9 @@ Typical modern use::
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional, Sequence
 
+from ._deprecation import warn_once_per_site
 from ..decomposition.tree import Plan
 from ..distributed.partition import make_partition
 from ..distributed.runtime import ExecutionContext
@@ -42,9 +42,10 @@ __all__ = [
 
 
 def _deprecated(old: str, new: str) -> None:
-    warnings.warn(
+    # stacklevel 3: warn_once_per_site's caller is this helper (1), the
+    # deprecated shim (2), and the user's call site (3) — warned once each
+    warn_once_per_site(
         f"repro.counting.{old} is deprecated; use repro.engine.{new}",
-        DeprecationWarning,
         stacklevel=3,
     )
 

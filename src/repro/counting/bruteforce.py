@@ -7,7 +7,7 @@ matches under a fixed coloring.  Exponential — use only on small inputs.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence
+from typing import Hashable, List, Optional, Sequence
 
 import numpy as np
 

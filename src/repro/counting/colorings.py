@@ -16,7 +16,7 @@ explores and the paper leaves implicit):
 
 from __future__ import annotations
 
-from typing import Iterator, List, Sequence
+from typing import List
 
 import numpy as np
 

@@ -17,9 +17,9 @@ sequential path for the same seed.
 
 from __future__ import annotations
 
-import warnings
 from typing import Optional
 
+from ._deprecation import warn_once_per_site
 from ..decomposition.tree import Plan
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
@@ -48,10 +48,9 @@ def estimate_matches_parallel(
     """
     from ..engine import CountingEngine
 
-    warnings.warn(
+    warn_once_per_site(
         "repro.counting.estimate_matches_parallel is deprecated; use "
         "repro.engine.CountingEngine.count(..., workers=N)",
-        DeprecationWarning,
         stacklevel=2,
     )
     return CountingEngine(g).count(

@@ -16,7 +16,7 @@ join kernels.  Two methods are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Hashable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -24,10 +24,10 @@ from ..decomposition.blocks import CYCLE, LEAF, SINGLETON, Block
 from ..decomposition.tree import Plan
 from ..distributed.runtime import ExecutionContext, sequential_context
 from ..graph.graph import Graph
-from ..tables.projection import BinaryTable, PathTable, UnaryTable
+from ..tables.projection import BinaryTable, UnaryTable
 from .kernels import build_path_table, merge_cycle_paths, oriented_binary
 
-__all__ = ["solve_plan", "BlockSolver", "METHODS"]
+__all__ = ["solve_plan", "BlockSolver", "METHODS", "VEC_METHOD", "ALL_METHODS"]
 
 Node = Hashable
 
@@ -37,6 +37,12 @@ Node = Hashable
 #: boundary nodes, but still without degree pruning.  The paper reports
 #: this variant "does not differ significantly" from plain PS.
 METHODS = ("ps", "db", "ps-even")
+
+#: ``ps-vec`` — PS re-expressed as whole-table numpy operations over the
+#: CSR adjacency (:mod:`repro.counting.vectorized`); bit-identical to
+#: ``ps`` but without per-rank load attribution.
+VEC_METHOD = "ps-vec"
+ALL_METHODS = METHODS + (VEC_METHOD,)
 
 
 def _cw_labels(nodes: Tuple[Node, ...], s: int, e: int) -> List[Node]:
@@ -274,8 +280,15 @@ def solve_plan(
     with ``normalization_factor(k, num_colors)``).  A *colorful match*
     always means all ``k`` matched vertices have pairwise distinct colors.
 
-    ``ctx`` defaults to an untracked sequential context.
+    ``ctx`` defaults to an untracked sequential context.  With
+    ``method="ps-vec"`` the whole solve is delegated to the vectorized
+    kernels (:mod:`repro.counting.vectorized`); ``ctx`` is ignored there
+    because batched table operations cannot attribute work to ranks.
     """
+    if method == VEC_METHOD:
+        from .vectorized import solve_plan_vectorized
+
+        return solve_plan_vectorized(plan, g, colors, num_colors=num_colors)
     colors = np.asarray(colors, dtype=np.int64)
     k = plan.query.k
     kc = num_colors if num_colors is not None else k

@@ -10,7 +10,7 @@ off their nodes and edges.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, List, Tuple
 
 __all__ = ["Block", "CYCLE", "LEAF", "SINGLETON"]
 

@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
 
 from ..query.query import QueryGraph
-from .blocks import CYCLE, LEAF, SINGLETON, Block
+from .blocks import CYCLE, LEAF, Block
 
 __all__ = [
     "ContractionState",

@@ -9,7 +9,7 @@ at every step and deduplicating structurally identical results.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set
+from typing import List, Set
 
 from ..query.query import QueryGraph
 from ..query.treewidth import is_treewidth_at_most_2

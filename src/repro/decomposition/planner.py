@@ -10,7 +10,7 @@ broken deterministically by structural signature.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from ..query.query import QueryGraph
 from .enumeration import enumerate_plans

@@ -9,11 +9,11 @@ holding the root block.
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..query.query import QueryGraph
 from ..query.treewidth import is_treewidth_at_most_2
-from .blocks import CYCLE, LEAF, SINGLETON, Block
+from .blocks import CYCLE, SINGLETON, Block
 from .contraction import CandidateBlock, ContractionState, contract, find_candidate_blocks
 
 __all__ = ["Plan", "build_decomposition", "default_chooser", "DecompositionError"]

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from typing import Hashable, List, Set, Tuple
 
-from ..query.query import QueryGraph
 from .blocks import CYCLE, LEAF, SINGLETON, Block
 from .tree import Plan
 

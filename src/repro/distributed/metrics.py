@@ -3,9 +3,8 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
-import numpy as np
 
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan

@@ -18,7 +18,7 @@ paper's observed behaviour.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 

@@ -30,6 +30,7 @@ from .backends import (
     BackendRegistry,
     CountingBackend,
     DEFAULT_REGISTRY,
+    VEC_AUTO_MIN_SIZE,
     available_backends,
     get_backend,
     register_backend,
@@ -51,4 +52,5 @@ __all__ = [
     "available_backends",
     "DEFAULT_REGISTRY",
     "AUTO",
+    "VEC_AUTO_MIN_SIZE",
 ]

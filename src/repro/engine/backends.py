@@ -33,8 +33,9 @@ from ..graph.graph import Graph
 from ..query.query import QueryGraph
 from ..query.treewidth import is_tree
 from ..counting.bruteforce import count_colorful_matches
-from ..counting.solver import METHODS, solve_plan
+from ..counting.solver import METHODS, VEC_METHOD, solve_plan
 from ..counting.treelet import count_colorful_treelet
+from ..counting.vectorized import MAX_COLORS_VEC, solve_plan_vectorized
 
 __all__ = [
     "CountingBackend",
@@ -44,10 +45,16 @@ __all__ = [
     "available_backends",
     "DEFAULT_REGISTRY",
     "AUTO",
+    "VEC_AUTO_MIN_SIZE",
 ]
 
 #: sentinel method name resolved per query by the registry
 AUTO = "auto"
+
+#: ``method="auto"`` switches from the dict kernels to the vectorized PS
+#: backend once ``n + m`` reaches this size — below it, per-call numpy
+#: overhead can exceed the interpreter cost the vectorization removes
+VEC_AUTO_MIN_SIZE = 2000
 
 
 class CountingBackend:
@@ -115,6 +122,33 @@ class SolverBackend(CountingBackend):
             ctx=ctx,
             method=self.name,
             num_colors=num_colors,
+        )
+
+
+class VectorizedBackend(CountingBackend):
+    """``ps-vec`` — PS re-expressed as batched numpy table operations.
+
+    Bit-identical to ``ps`` on the same plan/coloring, typically an order
+    of magnitude faster on the stand-in graphs; cannot attribute work to
+    simulated ranks (``tracks_load=False``) and packs signatures in one
+    ``int64`` word, so the palette is capped at ``MAX_COLORS_VEC``.
+    """
+
+    name = VEC_METHOD
+    needs_plan = True
+    tracks_load = False
+
+    def supports(self, query, num_colors=None):
+        """Any query, as long as the palette fits one signature word."""
+        kc = num_colors if num_colors is not None else query.k
+        return kc <= MAX_COLORS_VEC
+
+    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+        """Solve the plan with the vectorized PS kernels (ctx is ignored)."""
+        self.check(query, num_colors)
+        plan = plan if plan is not None else heuristic_plan(query)
+        return solve_plan_vectorized(
+            plan, g, np.asarray(colors), num_colors=num_colors
         )
 
 
@@ -240,17 +274,32 @@ class BackendRegistry:
         query: QueryGraph,
         num_colors: Optional[int] = None,
         need_load_tracking: bool = False,
+        graph: Optional[Graph] = None,
     ) -> CountingBackend:
         """Pick the backend for ``method`` (handling ``"auto"``) and
-        verify it supports the query/palette/tracking combination."""
+        verify it supports the query/palette/tracking combination.
+
+        ``auto`` picks per query (and, when ``graph`` is given, per input
+        size): the treelet DP for acyclic queries under the paper's
+        palette, the vectorized PS kernels for large inputs, DB otherwise.
+        """
         if method == AUTO:
             treelet = self._backends.get("treelet")
+            vec = self._backends.get(VEC_METHOD)
             if (
                 not need_load_tracking
                 and treelet is not None
                 and treelet.supports(query, num_colors)
             ):
                 backend = treelet
+            elif (
+                not need_load_tracking
+                and vec is not None
+                and vec.supports(query, num_colors)
+                and graph is not None
+                and graph.n + graph.m >= VEC_AUTO_MIN_SIZE
+            ):
+                backend = vec
             else:
                 backend = self.get("db")
         else:
@@ -268,6 +317,7 @@ def _make_default_registry() -> BackendRegistry:
     reg = BackendRegistry()
     for method in METHODS:  # ps, db, ps-even
         reg.register(SolverBackend(method))
+    reg.register(VectorizedBackend())
     reg.register(TreeletBackend())
     reg.register(BruteforceBackend())
     return reg

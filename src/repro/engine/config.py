@@ -17,7 +17,7 @@ given graph (same seeds → bit-identical results).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Tuple
+from typing import Optional
 
 from ..decomposition.tree import Plan
 from ..distributed.runtime import ExecutionContext

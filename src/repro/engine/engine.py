@@ -179,7 +179,8 @@ class CountingEngine:
         """Colorful matches under one fixed coloring (no estimation)."""
         method = method if method is not None else self.config.method
         backend = self.registry.resolve(
-            method, query, num_colors, need_load_tracking=ctx is not None
+            method, query, num_colors,
+            need_load_tracking=ctx is not None, graph=self.graph,
         )
         if backend.needs_plan and plan is None:
             plan, _ = self._plan_for(query)
@@ -235,7 +236,8 @@ class CountingEngine:
         if ctx is None and r.nranks > 1:
             ctx = self.make_context(r.nranks)
         backend = self.registry.resolve(
-            r.method, q, r.num_colors, need_load_tracking=ctx is not None
+            r.method, q, r.num_colors,
+            need_load_tracking=ctx is not None, graph=self.graph,
         )
 
         plan, plan_cached = r.plan, r.plan is not None

@@ -16,7 +16,7 @@ from .generators import (
     ring_of_cliques,
     rmat,
 )
-from .graph import Graph
+from .graph import CSR, Graph
 from .io import read_edge_list, write_edge_list
 from .sampling import bfs_ball, induced_subgraph, random_induced_sample
 from .properties import (
@@ -29,6 +29,7 @@ from .properties import (
 )
 
 __all__ = [
+    "CSR",
     "Graph",
     "chung_lu",
     "chung_lu_power_law",

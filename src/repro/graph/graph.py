@@ -17,11 +17,25 @@ having the least id first".
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+from typing import Iterable, Iterator, NamedTuple, Optional, Tuple
 
 import numpy as np
 
-__all__ = ["Graph"]
+__all__ = ["CSR", "Graph"]
+
+
+class CSR(NamedTuple):
+    """Compressed-sparse-row adjacency: ``indices[indptr[u]:indptr[u+1]]``
+    is the sorted neighbour list of vertex ``u``.
+
+    This is the exchange format between :class:`Graph` and the vectorized
+    counting kernels (:mod:`repro.counting.vectorized`): both arrays are
+    ``int64``, every edge appears in both directions, and each slice is
+    sorted ascending so joins can binary-search and batch-gather.
+    """
+
+    indptr: np.ndarray
+    indices: np.ndarray
 
 
 class Graph:
@@ -54,53 +68,95 @@ class Graph:
     # construction helpers
     # ------------------------------------------------------------------
     @staticmethod
-    def _validate_edges(n: int, edges: Iterable[Tuple[int, int]]) -> List[Tuple[int, int]]:
-        seen = set()
-        out: List[Tuple[int, int]] = []
-        for u, v in edges:
-            u = int(u)
-            v = int(v)
-            if u == v:
-                raise ValueError(f"self loop on vertex {u} is not allowed")
-            if not (0 <= u < n and 0 <= v < n):
-                raise ValueError(f"edge ({u},{v}) out of range for n={n}")
-            key = (u, v) if u < v else (v, u)
-            if key in seen:
-                raise ValueError(f"duplicate edge ({u},{v})")
-            seen.add(key)
-            out.append(key)
-        return out
+    def _validate_edges(n: int, edges: Iterable[Tuple[int, int]]) -> np.ndarray:
+        """Canonicalise to an ``(m, 2)`` array with ``u < v`` rows.
+
+        Validation is array-at-a-time: range/self-loop/duplicate checks are
+        numpy reductions, with the first offending edge reported exactly
+        like the historical per-edge loop did.
+        """
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        if arr.size == 0:
+            return np.empty((0, 2), dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != 2:
+            raise ValueError(f"edges must be (u, v) pairs, got shape {arr.shape}")
+        arr = arr.astype(np.int64, copy=False)
+        loops = arr[:, 0] == arr[:, 1]
+        if loops.any():
+            u = int(arr[int(np.argmax(loops)), 0])
+            raise ValueError(f"self loop on vertex {u} is not allowed")
+        bad = (arr < 0) | (arr >= n)
+        if bad.any():
+            u, v = (int(x) for x in arr[int(np.argmax(bad.any(axis=1)))])
+            raise ValueError(f"edge ({u},{v}) out of range for n={n}")
+        lo = np.minimum(arr[:, 0], arr[:, 1])
+        hi = np.maximum(arr[:, 0], arr[:, 1])
+        key = lo * np.int64(n) + hi
+        _, first, counts = np.unique(key, return_index=True, return_counts=True)
+        if (counts > 1).any():
+            # report the duplicate edge at its earliest repeated position,
+            # in the orientation it was given
+            dup_keys = np.flatnonzero(np.isin(key, key[first[counts > 1]]))
+            seen: set = set()
+            for i in dup_keys:
+                k = int(key[i])
+                if k in seen:
+                    u, v = int(arr[i, 0]), int(arr[i, 1])
+                    raise ValueError(f"duplicate edge ({u},{v})")
+                seen.add(k)
+        return np.column_stack((lo, hi))
 
     @staticmethod
-    def _build_csr(n: int, edges: Sequence[Tuple[int, int]]) -> Tuple[np.ndarray, np.ndarray]:
-        deg = np.zeros(n, dtype=np.int64)
-        for u, v in edges:
-            deg[u] += 1
-            deg[v] += 1
+    def _build_csr(n: int, edges: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        edges = np.asarray(edges, dtype=np.int64).reshape(-1, 2)
+        src = np.concatenate((edges[:, 0], edges[:, 1]))
+        dst = np.concatenate((edges[:, 1], edges[:, 0]))
+        deg = np.bincount(src, minlength=n).astype(np.int64) if n else np.zeros(0, np.int64)
         indptr = np.zeros(n + 1, dtype=np.int64)
         np.cumsum(deg, out=indptr[1:])
-        indices = np.zeros(max(indptr[-1], 1), dtype=np.int64)[: indptr[-1]]
-        cursor = indptr[:-1].copy()
-        for u, v in edges:
-            indices[cursor[u]] = v
-            cursor[u] += 1
-            indices[cursor[v]] = u
-            cursor[v] += 1
-        # Sort each adjacency slice for deterministic iteration and to allow
-        # binary-search membership tests.
-        for u in range(n):
-            lo, hi = indptr[u], indptr[u + 1]
-            indices[lo:hi] = np.sort(indices[lo:hi])
+        # One lexsort orders the directed edge list by (src, dst), which
+        # lays every adjacency slice out sorted — no per-vertex Python loop.
+        order = np.lexsort((dst, src))
+        indices = dst[order]
         return indptr, indices
 
     @classmethod
     def from_edge_array(cls, n: int, edge_array: np.ndarray, name: str = "") -> "Graph":
         """Build from an ``(m, 2)`` integer array (convenience for generators)."""
-        return cls(n, [(int(u), int(v)) for u, v in edge_array], name=name)
+        return cls(n, np.asarray(edge_array, dtype=np.int64).reshape(-1, 2), name=name)
+
+    @classmethod
+    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray, name: str = "") -> "Graph":
+        """Rebuild a graph from a :class:`CSR` pair (``Graph ↔ CSR`` round trip).
+
+        The input must describe a simple undirected graph: every edge in
+        both directions, no self loops, sorted slices.  Anything else —
+        asymmetric adjacency, duplicates inside a slice, loops — raises
+        ``ValueError``.
+        """
+        indptr = np.asarray(indptr, dtype=np.int64)
+        indices = np.asarray(indices, dtype=np.int64)
+        n = len(indptr) - 1
+        if n < 0 or indptr[0] != 0 or (np.diff(indptr) < 0).any() or indptr[-1] != len(indices):
+            raise ValueError("malformed CSR indptr")
+        u = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+        keep = u < indices
+        g = cls(n, np.column_stack((u[keep], indices[keep])), name=name)
+        if not (np.array_equal(g.indptr, indptr) and np.array_equal(g.indices, indices)):
+            raise ValueError("CSR is not a valid simple undirected adjacency")
+        return g
 
     # ------------------------------------------------------------------
     # basic queries
     # ------------------------------------------------------------------
+    def to_csr(self) -> CSR:
+        """The graph's cached CSR adjacency as a :class:`CSR` pair.
+
+        The arrays are the graph's own backing storage (built once in the
+        constructor, never copied) — treat them as read-only.
+        """
+        return CSR(self.indptr, self.indices)
+
     def neighbors(self, u: int) -> np.ndarray:
         """Sorted neighbour array of ``u`` (a view, do not mutate)."""
         return self.indices[self.indptr[u] : self.indptr[u + 1]]
@@ -122,13 +178,9 @@ class Graph:
 
     def edge_array(self) -> np.ndarray:
         """All edges as an ``(m, 2)`` array with ``u < v`` rows."""
-        out = np.empty((self.m, 2), dtype=np.int64)
-        i = 0
-        for u, v in self.edges():
-            out[i, 0] = u
-            out[i, 1] = v
-            i += 1
-        return out
+        u = np.repeat(np.arange(self.n, dtype=np.int64), self.degrees)
+        keep = u < self.indices
+        return np.column_stack((u[keep], self.indices[keep]))
 
     # ------------------------------------------------------------------
     # degree ordering (paper Section 5.1)

@@ -11,7 +11,7 @@ workload that makes fast subgraph counting matter.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 import numpy as np
 

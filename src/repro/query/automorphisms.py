@@ -7,7 +7,7 @@ the paper's ≤ 12-node queries a pruned backtracking search is instant.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Optional
+from typing import List, Optional
 
 from .query import QueryGraph
 

@@ -16,7 +16,7 @@ sweeps beyond the fixed Figure 8 library:
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 import numpy as np
 

@@ -16,7 +16,7 @@ properties of Section 2 for arbitrary decompositions:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Hashable, List, Optional, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
 
 from .query import QueryGraph
 

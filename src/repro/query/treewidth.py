@@ -15,7 +15,7 @@ Two levels are provided:
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import Dict, FrozenSet, Hashable, List, Set, Tuple
+from typing import Dict, Hashable, List, Set
 
 from .query import QueryGraph
 

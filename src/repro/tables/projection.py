@@ -21,7 +21,7 @@ tables are transpose of each other").
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Tuple
+from typing import Dict, Hashable, Iterator, List, Tuple
 
 __all__ = ["UnaryTable", "BinaryTable", "PathTable", "table_total"]
 

@@ -14,7 +14,6 @@ X(q)/Y(q) counts:
 
 from __future__ import annotations
 
-import math
 from typing import Dict
 
 import numpy as np

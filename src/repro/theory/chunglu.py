@@ -8,7 +8,7 @@ paper's model assumptions (``d_u >= 1``, ``max d_u <= sqrt(n)``,
 from __future__ import annotations
 
 import math
-from typing import Optional, Tuple
+from typing import Tuple
 
 import numpy as np
 

@@ -10,7 +10,7 @@ and reports simple confidence intervals, powering the theory benches and
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

@@ -1,6 +1,5 @@
 """Tests for the high-level counting API."""
 
-import numpy as np
 import pytest
 
 from repro import count, count_colorful, count_exact, make_context

@@ -1,17 +1,25 @@
 """Tests for the benchmark harness utilities."""
 
-import os
+import json
 
 import pytest
 
 from repro.bench import (
+    DEFAULT_TOLERANCE,
+    PERF_SMOKE_GRID,
     Timer,
+    bench_record,
     bench_scale,
+    calibration_seconds,
+    compare_to_baseline,
     format_table,
     geometric_mean,
     grid_graph_names,
     grid_query_names,
+    load_bench_json,
+    write_bench_json,
 )
+from repro.bench.harness import main as harness_main
 
 
 class TestFormatTable:
@@ -74,3 +82,117 @@ class TestTimerAndStats:
         assert geometric_mean([1, 4]) == pytest.approx(2.0)
         assert geometric_mean([]) == 0.0
         assert geometric_mean([0, 2]) == pytest.approx(2.0)  # zeros skipped
+
+
+class TestBenchRecords:
+    def test_record_key_and_fields(self):
+        rec = bench_record("fig9", "enron", "wiki", "ps-vec", 0.25, count=7, note="x")
+        assert rec["key"] == "fig9/enron/wiki/ps-vec"
+        assert rec["seconds"] == 0.25
+        assert rec["count"] == 7
+        assert rec["note"] == "x"
+
+    def test_json_round_trip(self, tmp_path):
+        records = [bench_record("b", "g", "q", "m", 1.5)]
+        path = write_bench_json(str(tmp_path / "BENCH_t.json"), records, extra=3)
+        doc = load_bench_json(path)
+        assert doc["schema"] == "repro-bench/1"
+        assert doc["extra"] == 3
+        assert doc["records"] == records
+
+    def test_json_is_valid_json_on_disk(self, tmp_path):
+        path = write_bench_json(str(tmp_path / "BENCH_t.json"), [])
+        with open(path, encoding="utf-8") as fh:
+            assert json.load(fh)["records"] == []
+
+
+class TestBaselineGate:
+    def _baseline(self, seconds):
+        return {"records": [bench_record("b", "g", "q", "m", seconds)]}
+
+    def test_no_regression_within_tolerance(self):
+        current = [bench_record("b", "g", "q", "m", 1.9)]
+        assert compare_to_baseline(current, self._baseline(1.0)) == []
+
+    def test_regression_flagged_beyond_tolerance(self):
+        current = [bench_record("b", "g", "q", "m", 2.5)]
+        (reg,) = compare_to_baseline(current, self._baseline(1.0))
+        assert reg["key"] == "b/g/q/m"
+        assert reg["ratio"] == pytest.approx(2.5)
+
+    def test_custom_tolerance(self):
+        current = [bench_record("b", "g", "q", "m", 1.5)]
+        assert compare_to_baseline(current, self._baseline(1.0), tolerance=1.2)
+
+    def test_untracked_keys_never_fail(self):
+        current = [bench_record("new", "g", "q", "m", 100.0)]
+        assert compare_to_baseline(current, self._baseline(0.001)) == []
+
+    def test_default_tolerance_is_2x(self):
+        assert DEFAULT_TOLERANCE == 2.0
+
+    def test_calibrated_metric_preferred_over_seconds(self):
+        # raw seconds regressed 10x (slower machine) but the calibrated
+        # figure is unchanged — the gate must not flag it
+        base = {"records": [bench_record("b", "g", "q", "m", 0.1, calibrated=5.0)]}
+        current = [bench_record("b", "g", "q", "m", 1.0, calibrated=5.0)]
+        assert compare_to_baseline(current, base) == []
+        # and a genuine calibrated regression is still caught
+        worse = [bench_record("b", "g", "q", "m", 1.0, calibrated=15.0)]
+        (reg,) = compare_to_baseline(worse, base)
+        assert reg["metric"] == "calibrated"
+        assert reg["ratio"] == pytest.approx(3.0)
+
+    def test_calibration_probe_is_positive_and_fast(self):
+        cal = calibration_seconds(repeats=1)
+        assert 0 < cal < 5.0
+
+
+class TestPerfSmokeCLI:
+    """End-to-end runs of ``python -m repro.bench`` (in-process)."""
+
+    def test_smoke_grid_pairs_ps_with_vec(self):
+        # every ps cell has a ps-vec twin so regressions compare kernels
+        pairs = {(g, q) for g, q, m in PERF_SMOKE_GRID if m == "ps"}
+        vec = {(g, q) for g, q, m in PERF_SMOKE_GRID if m == "ps-vec"}
+        assert pairs <= vec
+
+    def test_emit_and_gate_round_trip(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_perf_smoke.json"
+        base = tmp_path / "baseline.json"
+        rc = harness_main(
+            ["--repeats", "1", "--emit-json", str(out),
+             "--baseline", str(base), "--update-baseline"]
+        )
+        assert rc == 0
+        assert out.exists() and base.exists()
+        doc = load_bench_json(str(out))
+        keys = {r["key"] for r in doc["records"]}
+        assert "perf_smoke/condmat/glet1/ps-vec" in keys
+        # identical counts for ps and ps-vec inside the smoke grid
+        by_key = {r["key"]: r for r in doc["records"]}
+        assert (
+            by_key["perf_smoke/condmat/glet1/ps"]["count"]
+            == by_key["perf_smoke/condmat/glet1/ps-vec"]["count"]
+        )
+        # gate passes against the baseline we just wrote (huge tolerance
+        # so machine noise can never flake this test)
+        rc = harness_main(["--repeats", "1", "--baseline", str(base),
+                           "--tolerance", "1e9"])
+        assert rc == 0
+
+    def test_update_baseline_requires_baseline_path(self, capsys):
+        with pytest.raises(SystemExit):
+            harness_main(["--update-baseline"])
+        assert "requires --baseline" in capsys.readouterr().err
+
+    def test_gate_fails_on_regression(self, tmp_path, capsys):
+        base = tmp_path / "baseline.json"
+        # a baseline claiming every tracked benchmark once took ~0 seconds
+        write_bench_json(
+            str(base),
+            [bench_record("perf_smoke", g, q, m, 1e-12) for g, q, m in PERF_SMOKE_GRID],
+        )
+        rc = harness_main(["--repeats", "1", "--baseline", str(base)])
+        assert rc == 1
+        assert "REGRESSIONS" in capsys.readouterr().out

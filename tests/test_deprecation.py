@@ -1,0 +1,103 @@
+"""The legacy counting shims warn exactly once per call site."""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.counting import count, count_colorful, estimate_matches_parallel
+from repro.counting._deprecation import reset_warning_sites, warn_once_per_site
+from repro.graph import erdos_renyi
+from repro.query import cycle_query
+
+
+@pytest.fixture(autouse=True)
+def fresh_sites():
+    reset_warning_sites()
+    yield
+    reset_warning_sites()
+
+
+@pytest.fixture
+def instance():
+    rng = np.random.default_rng(0)
+    g = erdos_renyi(10, 0.4, rng)
+    q = cycle_query(3)
+    colors = rng.integers(0, 3, size=g.n)
+    return g, q, colors
+
+
+def _call_count_colorful(g, q, colors):
+    # one fixed call site shared by the repetition tests
+    return count_colorful(g, q, colors, method="ps")
+
+
+class TestOncePerCallSite:
+    def test_emitted_on_first_call(self, instance):
+        g, q, colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            _call_count_colorful(g, q, colors)
+        assert len(caught) == 1
+        assert issubclass(caught[0].category, DeprecationWarning)
+        assert "repro.counting.count_colorful is deprecated" in str(caught[0].message)
+
+    def test_not_repeated_from_same_site(self, instance):
+        g, q, colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            # "always" would re-emit on every call if the shim did not
+            # de-duplicate per site itself
+            warnings.simplefilter("always")
+            for _ in range(5):
+                _call_count_colorful(g, q, colors)
+        assert len(caught) == 1
+
+    def test_distinct_sites_each_warn(self, instance):
+        g, q, colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            count_colorful(g, q, colors, method="ps")  # site A
+            count_colorful(g, q, colors, method="ps")  # site B
+            _call_count_colorful(g, q, colors)  # site C
+        assert len(caught) == 3
+
+    def test_count_shim_warns(self, instance):
+        g, q, _colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            count(g, q, trials=2, seed=0)
+        assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+    def test_parallel_shim_warns_once(self, instance):
+        g, q, _colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(3):
+                estimate_matches_parallel(g, q, trials=2, seed=0, workers=1)
+        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
+        assert len(dep) == 1
+        assert "estimate_matches_parallel" in str(dep[0].message)
+
+    def test_warning_points_at_caller(self, instance):
+        g, q, colors = instance
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            count_colorful(g, q, colors, method="ps")
+        assert caught[0].filename == __file__
+
+
+class TestHelper:
+    def test_helper_deduplicates_by_line(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(4):
+                warn_once_per_site("gone", stacklevel=1)
+        assert len(caught) == 1
+
+    def test_reset_reopens_sites(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_once_per_site("gone", stacklevel=1)
+            reset_warning_sites()
+            warn_once_per_site("gone", stacklevel=1)
+        assert len(caught) == 2

@@ -1,6 +1,5 @@
 """Tests for the simulated distributed engine and scaling metrics."""
 
-import numpy as np
 import pytest
 
 from repro.counting import count_colorful_matches
@@ -14,7 +13,6 @@ from repro.distributed import (
     run_distributed,
     strong_scaling,
 )
-from repro.graph import erdos_renyi
 from repro.graph.degree import zipf_degree_sequence
 from repro.graph.generators import chung_lu
 from repro.graph.properties import largest_component_subgraph

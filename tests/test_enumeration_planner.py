@@ -3,7 +3,6 @@
 import pytest
 
 from repro.decomposition import (
-    build_decomposition,
     choose_plan,
     count_plans,
     enumerate_plans,

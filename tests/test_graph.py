@@ -40,6 +40,13 @@ class TestConstruction:
         with pytest.raises(ValueError, match="out of range"):
             Graph(2, [(0, 5)])
 
+    def test_rejects_non_pair_edges(self):
+        # e.g. a weighted (m, 3) edge list must not be silently re-paired
+        with pytest.raises(ValueError, match="pairs"):
+            Graph(6, [(0, 1, 2), (3, 4, 5)])
+        with pytest.raises(ValueError, match="pairs"):
+            Graph(4, np.array([0, 1, 2, 3]))
+
     def test_rejects_negative_n(self):
         with pytest.raises(ValueError):
             Graph(-1, [])
@@ -119,3 +126,64 @@ class TestEquality:
         a = Graph(3, [(0, 1)])
         b = Graph(3, [(0, 2)])
         assert a != b
+
+
+class TestCSRRoundTrip:
+    """``Graph ↔ CSR`` is lossless for every simple undirected graph."""
+
+    def _round_trip(self, g):
+        from repro.graph import CSR
+
+        csr = g.to_csr()
+        assert isinstance(csr, CSR)
+        back = Graph.from_csr(csr.indptr, csr.indices, name=g.name)
+        assert back == g
+        assert back.n == g.n and back.m == g.m
+        return back
+
+    def test_empty_graph(self):
+        self._round_trip(Graph(0, []))
+
+    def test_single_node(self):
+        g = self._round_trip(Graph(1, []))
+        assert g.degrees.tolist() == [0]
+
+    def test_self_loop_free_graph(self):
+        self._round_trip(Graph(5, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (1, 3)]))
+
+    def test_disconnected_graph(self):
+        g = self._round_trip(Graph(7, [(0, 1), (2, 3), (3, 4)]))  # 5, 6 isolated
+        assert g.degree(5) == 0 and g.degree(6) == 0
+
+    def test_csr_is_cached_storage(self):
+        g = Graph(3, [(0, 1), (1, 2)])
+        csr1, csr2 = g.to_csr(), g.to_csr()
+        assert csr1.indptr is csr2.indptr and csr1.indices is csr2.indices
+        assert csr1.indptr is g.indptr
+
+    def test_unpacks_as_pair(self):
+        indptr, indices = Graph(3, [(0, 2)]).to_csr()
+        assert indptr.tolist() == [0, 1, 1, 2]
+        assert indices.tolist() == [2, 0]
+
+    def test_rejects_malformed_indptr(self):
+        with pytest.raises(ValueError, match="malformed CSR"):
+            Graph.from_csr(np.array([0, 2, 1]), np.array([1, 0]))
+        with pytest.raises(ValueError, match="malformed CSR"):
+            Graph.from_csr(np.array([0, 1]), np.array([0, 0]))
+
+    def test_rejects_asymmetric_adjacency(self):
+        # edge 0->1 present but 1->0 missing
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.array([0, 1, 1]), np.array([1]))
+
+    def test_rejects_self_loops(self):
+        with pytest.raises(ValueError):
+            Graph.from_csr(np.array([0, 1]), np.array([0]))
+
+    def test_random_graphs_round_trip(self):
+        from repro.graph import erdos_renyi
+
+        rng = np.random.default_rng(4)
+        for _ in range(5):
+            self._round_trip(erdos_renyi(12, 0.3, rng))

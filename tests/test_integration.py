@@ -27,7 +27,7 @@ from repro.graph import (
     write_edge_list,
     read_edge_list,
 )
-from repro.motifs import all_tw2_motifs, motif_census
+from repro.motifs import motif_census
 from repro.query import random_tw2_query, satellite
 
 # this module deliberately exercises the deprecated pre-engine shim API

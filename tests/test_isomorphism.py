@@ -1,6 +1,5 @@
 """Tests for query isomorphism utilities."""
 
-import numpy as np
 import pytest
 
 from repro.query import (

@@ -1,6 +1,5 @@
 """Tests for the num_colors > k variance-reduction extension."""
 
-import math
 
 import numpy as np
 import pytest

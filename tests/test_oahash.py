@@ -1,7 +1,5 @@
 """Tests for the open-addressing hash table (Section 7 engine storage)."""
 
-import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.tables.oahash import OpenAddressingTable

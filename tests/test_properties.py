@@ -1,7 +1,5 @@
 """Tests for graph property helpers (components, triangles, summaries)."""
 
-import numpy as np
-import pytest
 
 from repro.graph import (
     Graph,

@@ -6,7 +6,6 @@ estimator invariants that the whole system rests on.
 """
 
 import numpy as np
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.counting import (
@@ -20,7 +19,6 @@ from repro.graph import Graph
 from repro.query import (
     QueryGraph,
     cycle_query,
-    is_tree,
     is_treewidth_at_most_2,
     paper_queries,
     path_query,

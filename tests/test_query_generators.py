@@ -1,6 +1,5 @@
 """Tests for the random treewidth-2 query generators."""
 
-import numpy as np
 import pytest
 
 from repro.query import (

@@ -1,8 +1,6 @@
 """Tests for the benchmark report aggregator and new CLI subcommands."""
 
-import os
 
-import pytest
 
 from repro.bench import collect_results, render_report
 from repro.cli import main

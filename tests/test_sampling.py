@@ -1,6 +1,5 @@
 """Tests for subgraph sampling."""
 
-import numpy as np
 import pytest
 
 from repro.graph import (

@@ -1,6 +1,5 @@
 """Tests for color-signature bitmask operations."""
 
-import pytest
 
 from repro.tables import (
     all_signatures,

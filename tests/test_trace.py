@@ -1,6 +1,5 @@
 """Tests for the superstep trace reporting."""
 
-import numpy as np
 import pytest
 
 from repro.counting.estimator import random_coloring

@@ -1,6 +1,5 @@
 """Tests for the decomposition-plan validator."""
 
-import numpy as np
 import pytest
 
 from repro.decomposition import (
@@ -9,7 +8,7 @@ from repro.decomposition import (
     enumerate_plans,
     validate_plan,
 )
-from repro.decomposition.blocks import CYCLE, Block
+from repro.decomposition.blocks import CYCLE
 from repro.decomposition.tree import Plan
 from repro.query import (
     all_fixture_queries,

@@ -1,6 +1,5 @@
 """Tests for the self-verification harness."""
 
-import pytest
 
 from repro.bench import dataset
 from repro.counting import VerificationReport, verify_counting
