@@ -16,12 +16,16 @@ import numpy as np
 from repro.bench import dataset, format_table, write_bench_json
 from repro.counting.estimator import random_coloring
 from repro.decomposition import choose_plan
+from repro.engine import EngineConfig
 from repro.query import paper_query
 
 RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
 
-#: deterministic seed for every bench coloring
-BENCH_SEED = 2016
+#: deterministic seed for every bench coloring — rooted in the engine's
+#: default config seed (plus a fixed salt) so the per-figure benches,
+#: perf-smoke and the scaling bench all derive their randomness from
+#: ``EngineConfig.seed`` and CI runs are reproducible end to end
+BENCH_SEED = EngineConfig().seed + 2016
 
 
 def emit_table(name: str, rows: List[Dict], columns=None, title: str = "", floatfmt=".3g") -> str:

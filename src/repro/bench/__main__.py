@@ -1,4 +1,9 @@
-"""``python -m repro.bench`` — the perf-smoke runner / CI regression gate."""
+"""``python -m repro.bench`` — perf-smoke / strong-scaling runner, CI gates.
+
+Default: the perf-smoke grid with the baseline regression gate.  With
+``--scaling``: the real ``ps-dist`` strong-scaling sweep (one shared
+entry point for CI's scaling-smoke job and local runs).
+"""
 
 import sys
 

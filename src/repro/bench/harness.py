@@ -13,6 +13,14 @@ fails (exit 1) when any tracked benchmark regresses more than the
 tolerance (default 2x) against the committed baseline.  CI runs exactly
 that; refresh the baseline with ``--update-baseline`` after intentional
 performance changes.
+
+``--scaling`` switches to the **strong-scaling** bench: the real
+``ps-dist`` executor over the scaling grid at ``--workers`` shard counts
+(default 1,2,4), emitting ``BENCH_scaling.json`` and — with
+``--assert-speedup X`` — failing unless the geomean measured speedup at
+the largest worker count reaches ``X``.  Every bench coloring is seeded
+from ``EngineConfig.seed`` (override with ``--seed``), so runs are
+deterministic under CI.
 """
 
 from __future__ import annotations
@@ -24,7 +32,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence
 
-from ..engine import CountingEngine, CountRequest, RunResult
+from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
 from ..graph.graph import Graph
 
 __all__ = [
@@ -45,7 +53,10 @@ __all__ = [
     "load_bench_json",
     "compare_to_baseline",
     "run_perf_smoke",
+    "run_scaling_bench",
     "PERF_SMOKE_GRID",
+    "SCALING_GRID",
+    "SCALING_WORKERS",
     "DEFAULT_TOLERANCE",
     "main",
 ]
@@ -102,14 +113,18 @@ def grid_query_names(light: bool = False) -> List[str]:
     return full
 
 
-def engine_for(g: Graph, **config_overrides) -> CountingEngine:
+def engine_for(
+    g: Graph, config: Optional[EngineConfig] = None, **config_overrides
+) -> CountingEngine:
     """A fresh :class:`CountingEngine` for one benchmark's graph.
 
     Benchmarks that sweep queries over one graph should create the
     engine once and batch through :func:`run_query_grid` so each query
-    is planned exactly once for the whole sweep.
+    is planned exactly once for the whole sweep.  Every bench coloring
+    RNG is derived from the engine's ``config.seed`` so CI runs are
+    reproducible end to end.
     """
-    return CountingEngine(g, **config_overrides)
+    return CountingEngine(g, config, **config_overrides)
 
 
 def run_query_grid(
@@ -340,28 +355,43 @@ def compare_to_baseline(
     return regressions
 
 
-def run_perf_smoke(repeats: int = 3) -> List[Dict[str, object]]:
+def _bench_coloring(engine: CountingEngine, k: int, salt: int = 2016):
+    """One deterministic coloring, seeded from the engine's config seed.
+
+    All bench-path randomness roots in ``EngineConfig.seed`` (plus fixed
+    structural salts) — never a bare ``np.random``/``random`` call — so
+    every CI run of the perf and scaling benches sees identical
+    colorings and therefore identical workloads.
+    """
+    from ..counting.colorings import uniform_coloring
+    import numpy as np
+
+    rng = np.random.default_rng(engine.config.seed + salt + k)
+    return uniform_coloring(engine.graph.n, k, rng)
+
+
+def run_perf_smoke(
+    repeats: int = 3, config: Optional[EngineConfig] = None
+) -> List[Dict[str, object]]:
     """Run the fixed perf-smoke grid; each cell is best-of-``repeats``.
 
     The grid pins one deterministic coloring per (graph, query) pair —
+    derived from ``config.seed`` (default :class:`EngineConfig` seed),
     identical across methods and runs — so records compare kernels, not
     color luck.  Every record carries both raw ``seconds`` and a
     machine-relative ``calibrated`` figure (seconds over this run's
     :func:`calibration_seconds`), which is what the gate compares.
     """
     from .datasets import dataset
-    from ..counting.colorings import uniform_coloring
     from ..query.library import paper_query
-    import numpy as np
 
     cal = calibration_seconds()
     records = []
     engines: Dict[str, CountingEngine] = {}
     for gname, qname, method in PERF_SMOKE_GRID:
-        engine = engines.setdefault(gname, engine_for(dataset(gname)))
+        engine = engines.setdefault(gname, engine_for(dataset(gname), config))
         q = paper_query(qname)
-        rng = np.random.default_rng(2016 + q.k)
-        colors = uniform_coloring(engine.graph.n, q.k, rng)
+        colors = _bench_coloring(engine, q.k)
         plan = engine.plan_for(q)  # planning cost excluded: the gate tracks kernels
         best, count = math.inf, None
         for _ in range(max(1, repeats)):
@@ -377,13 +407,118 @@ def run_perf_smoke(repeats: int = 3) -> List[Dict[str, object]]:
     return records
 
 
+# ----------------------------------------------------------------------
+# strong-scaling bench (real sharded execution, paper Figure 13 shape)
+# ----------------------------------------------------------------------
+
+#: shard counts the strong-scaling bench sweeps (paper: 32..512 ranks)
+SCALING_WORKERS = (1, 2, 4)
+
+#: the scaling grid: skewed stand-ins plus the roadNetCA grid stand-in,
+#: sized so per-trial shard compute dominates executor orchestration
+SCALING_GRID = (
+    ("slashdot", "wiki"),
+    ("epinions", "wiki"),
+    ("roadnetca", "wiki"),
+    ("enron", "dros"),
+)
+
+
+def run_scaling_bench(
+    workers: Sequence[int] = SCALING_WORKERS,
+    repeats: int = 3,
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, object]:
+    """Strong-scaling sweep of the real ``ps-dist`` executor.
+
+    For every grid cell, runs one fixed coloring (seeded from
+    ``config.seed``) through a :class:`ShardedExecutor` at each worker
+    count and records best-of-``repeats`` timings.  The scaling metric is
+    the measured **critical path** — per-superstep slowest-rank CPU
+    seconds, the measured analogue of the simulated makespan — which
+    tracks shard compute even when CI workers time-slice fewer physical
+    cores than ranks; end-to-end ``wall`` seconds (including the boundary
+    exchange) are reported alongside.  Counts are asserted bit-identical
+    across all worker counts and against ``ps-vec``.
+
+    Returns a JSON-ready document: per-run ``records``, per-cell
+    ``speedups``, and the geomean ``speedup_at_max`` over the grid at the
+    largest worker count (the figure the CI gate asserts).
+    """
+    from .datasets import dataset
+    from ..distributed.executor import ShardedExecutor
+    from ..query.library import paper_query
+
+    workers = sorted(set(int(w) for w in workers))
+    if not workers or workers[0] < 1:
+        raise ValueError(f"invalid worker counts {workers!r}")
+    cfg = config if config is not None else EngineConfig()
+    cal = calibration_seconds()
+    records: List[Dict[str, object]] = []
+    speedups: List[Dict[str, object]] = []
+    for gname, qname in SCALING_GRID:
+        engine = engine_for(dataset(gname), cfg)
+        q = paper_query(qname)
+        colors = _bench_coloring(engine, q.k)
+        plan = engine.plan_for(q)
+        ref = engine.count_colorful(q, colors, method="ps-vec", plan=plan)
+        crit_by_w: Dict[int, float] = {}
+        row: Dict[str, object] = {"key": f"scaling/{gname}/{qname}", "count": ref}
+        for w in workers:
+            with ShardedExecutor(engine.graph, workers=w,
+                                 strategy=cfg.partition_strategy) as executor:
+                best_crit, best_wall, imbalance = math.inf, math.inf, 1.0
+                rows_exchanged = 0
+                for _ in range(max(1, repeats)):
+                    count, stats = executor.count(plan, colors)
+                    if count != ref:  # pragma: no cover - parity invariant
+                        raise AssertionError(
+                            f"ps-dist({w}) diverged from ps-vec on {gname}/{qname}: "
+                            f"{count} != {ref}"
+                        )
+                    crit = stats.critical_seconds()
+                    if crit < best_crit:
+                        best_crit, imbalance = crit, stats.imbalance()
+                        rows_exchanged = stats.exchanged_rows()
+                    best_wall = min(best_wall, stats.wall_seconds)
+            crit_by_w[w] = best_crit
+            records.append(
+                bench_record(
+                    "scaling", gname, qname, f"ps-dist-w{w}", best_wall,
+                    count=ref, workers=w,
+                    critical_seconds=best_crit,
+                    calibrated=best_crit / cal,
+                    imbalance=imbalance,
+                    exchanged_rows=rows_exchanged,
+                )
+            )
+        base = crit_by_w[workers[0]]
+        for w in workers[1:]:
+            row[f"speedup@{w}"] = base / crit_by_w[w] if crit_by_w[w] > 0 else 1.0
+        speedups.append(row)
+    wmax = workers[-1]
+    geomean = geometric_mean(
+        [float(row.get(f"speedup@{wmax}", 1.0)) for row in speedups]
+    ) if len(workers) > 1 else 1.0
+    return {
+        "workers": workers,
+        "cores": os.cpu_count(),
+        "seed": cfg.seed,
+        "metric": "critical_seconds (per-superstep max per-rank CPU)",
+        "speedup_at_max": geomean,
+        "records": records,
+        "speedups": speedups,
+    }
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    """``python -m repro.bench.harness`` — perf-smoke runner and CI gate."""
+    """``python -m repro.bench.harness`` — perf/scaling runner and CI gates."""
     import argparse
 
     parser = argparse.ArgumentParser(
         prog="repro.bench.harness",
-        description="Run the perf-smoke benchmark grid; emit/check BENCH JSON records.",
+        description="Run the perf-smoke grid (default) or the ps-dist "
+        "strong-scaling bench (--scaling); emit/check BENCH JSON records.",
     )
     parser.add_argument(
         "--emit-json", metavar="PATH", default=None,
@@ -406,11 +541,54 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "--repeats", type=int, default=3,
         help="timing repeats per grid cell, best-of (default: 3)",
     )
+    parser.add_argument(
+        "--seed", type=int, default=EngineConfig().seed,
+        help="root seed for every bench coloring RNG (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--scaling", action="store_true",
+        help="run the ps-dist strong-scaling bench instead of perf-smoke",
+    )
+    parser.add_argument(
+        "--workers", default=",".join(str(w) for w in SCALING_WORKERS),
+        help="comma-separated shard counts for --scaling (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--assert-speedup", type=float, default=None, metavar="X",
+        help="with --scaling: exit 1 unless the geomean measured speedup at "
+        "the largest worker count is >= X (critical-path metric)",
+    )
     args = parser.parse_args(argv)
     if args.update_baseline and not args.baseline:
         parser.error("--update-baseline requires --baseline PATH")
+    config = EngineConfig(seed=args.seed)
 
-    records = run_perf_smoke(repeats=args.repeats)
+    if args.scaling:
+        workers = [int(w) for w in str(args.workers).split(",") if w.strip()]
+        doc = run_scaling_bench(workers=workers, repeats=args.repeats, config=config)
+        print_table(
+            doc["records"],
+            columns=["key", "workers", "seconds", "critical_seconds",
+                     "calibrated", "imbalance", "count"],
+            title=f"ps-dist strong scaling ({doc['cores']} cores)",
+        )
+        print_table(
+            doc["speedups"], title="measured speedup (critical path vs 1 worker)",
+            floatfmt=".2f",
+        )
+        print(f"[geomean speedup at {doc['workers'][-1]} workers: "
+              f"{doc['speedup_at_max']:.2f}x]")
+        if args.emit_json:
+            meta = {k: v for k, v in doc.items() if k != "records"}
+            path = write_bench_json(args.emit_json, doc["records"], **meta)
+            print(f"[bench json written to {path}]")
+        if args.assert_speedup is not None and doc["speedup_at_max"] < args.assert_speedup:
+            print(f"FAIL: geomean speedup {doc['speedup_at_max']:.2f}x "
+                  f"< required {args.assert_speedup:g}x")
+            return 1
+        return 0
+
+    records = run_perf_smoke(repeats=args.repeats, config=config)
     print_table(
         records, columns=["key", "seconds", "calibrated", "count"], title="perf-smoke"
     )

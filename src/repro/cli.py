@@ -40,16 +40,16 @@ def _load_graph(arg: str):
 def _cmd_count(args: argparse.Namespace) -> int:
     g = _load_graph(args.graph)
     q = paper_query(args.query)
-    engine = CountingEngine(g)
     try:
-        result = engine.count(
-            q,
-            trials=args.trials,
-            seed=args.seed,
-            method=args.method,
-            num_colors=args.num_colors,
-            workers=args.workers,
-        )
+        with CountingEngine(g, partition_strategy=args.partition) as engine:
+            result = engine.count(
+                q,
+                trials=args.trials,
+                seed=args.seed,
+                method=args.method,
+                num_colors=args.num_colors,
+                workers=args.workers,
+            )
     except ValueError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -171,7 +171,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_count.add_argument(
         "--workers", type=int, default=1,
-        help="process-parallel trials (default: 1, sequential)",
+        help="process-parallel trials; with --method ps-dist, the number "
+        "of shard worker processes (default: 1, sequential)",
+    )
+    p_count.add_argument(
+        "--partition", choices=("block", "cyclic", "hash"), default="block",
+        help="vertex partition strategy for ps-dist shards (default: block)",
     )
     p_count.set_defaults(func=_cmd_count)
 

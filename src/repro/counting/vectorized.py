@@ -54,7 +54,9 @@ __all__ = [
     "VecUnaryTable",
     "VecBinaryTable",
     "VecPathTable",
+    "VectorizedSolver",
     "solve_plan_vectorized",
+    "solve_block_shard",
     "count_colorful_ps_vec",
     "MAX_COLORS_VEC",
 ]
@@ -226,22 +228,36 @@ def _empty_path() -> VecPathTable:
 # kernels (array analogues of repro.counting.kernels)
 # ----------------------------------------------------------------------
 
-def _init_from_graph(g: Graph, colors: np.ndarray, bit: np.ndarray) -> VecPathTable:
+def _init_from_graph(
+    g: Graph,
+    colors: np.ndarray,
+    bit: np.ndarray,
+    start_mask: Optional[np.ndarray] = None,
+) -> VecPathTable:
     """Seed cnt(u, v, {χu, χv}) = 1 from every directed edge, batched.
 
     The repeat/gather over ``indptr`` emits all directed edges at once;
     rows arrive already sorted by ``(u, v)`` because CSR slices are sorted.
+    With ``start_mask`` only edges whose start vertex is in the mask are
+    seeded — the shard-restricted sweep used by the ``ps-dist`` executor.
     """
     indptr, indices = g.to_csr()
     u = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(indptr))
     keep = colors[u] != colors[indices]
+    if start_mask is not None:
+        keep &= start_mask[u]
     u, v = u[keep], indices[keep]
     return VecPathTable(u, v, bit[u] | bit[v], np.ones(u.size, dtype=np.int64))
 
 
-def _init_from_child(child: VecBinaryTable) -> VecPathTable:
+def _init_from_child(
+    child: VecBinaryTable, start_mask: Optional[np.ndarray] = None
+) -> VecPathTable:
     """Seed from an annotated edge's child projection table (a copy-free view)."""
-    return VecPathTable(child.u, child.v, child.sig, child.cnt)
+    if start_mask is None:
+        return VecPathTable(child.u, child.v, child.sig, child.cnt)
+    keep = start_mask[child.u]
+    return VecPathTable(child.u[keep], child.v[keep], child.sig[keep], child.cnt[keep])
 
 
 def _extend_with_graph(
@@ -343,16 +359,48 @@ def _merge_paths(
 # ----------------------------------------------------------------------
 
 class VectorizedSolver:
-    """Bottom-up PS plan solver over array tables (one pass per block)."""
+    """Bottom-up PS plan solver over array tables (one pass per block).
 
-    def __init__(self, g: Graph, colors: np.ndarray, k: int) -> None:
+    ``start_mask`` restricts every path sweep to rows whose *start* image
+    lies in the mask.  Extensions and node joins never change a row's
+    start vertex and the cycle merge joins rows sharing their start, so a
+    masked solve produces exactly the rows of the unmasked solve whose
+    key vertex is owned by the mask — the shard invariant the ``ps-dist``
+    executor builds on.  Child tables must then cover *all* vertices:
+    :meth:`inject` installs externally combined (full) child results.
+    """
+
+    def __init__(
+        self,
+        g: Graph,
+        colors: np.ndarray,
+        k: int,
+        start_mask: Optional[np.ndarray] = None,
+    ) -> None:
         self.g = g
         self.colors = colors
         self.k = k
+        self.start_mask = start_mask
         #: per-color signature bits, indexed by data vertex color
         self.bit = np.int64(1) << colors
         self._solved: Dict[int, object] = {}
         self._tcache: Dict[int, VecBinaryTable] = {}
+        self._retired: List[object] = []
+
+    def inject(self, block: Block, result: object) -> None:
+        """Install (or overwrite) the solved table for ``block``.
+
+        Used by the sharded executor: after the per-rank shards of a
+        child block are combined into the full table, every rank injects
+        the combined table so parent joins see all vertices, not just
+        the rank's own shard.
+        """
+        old = self._solved.get(id(block))
+        if old is not None:
+            # pin the replaced table: _tcache keys transposes by id(), so
+            # letting it be collected could recycle an id onto a new table
+            self._retired.append(old)
+        self._solved[id(block)] = result
 
     # ------------------------------------------------------------------
     def solve(self, block: Block):
@@ -395,9 +443,9 @@ class VectorizedSolver:
         colors, bit = self.colors, self.bit
         child0 = edge_tables.get(0)
         if child0 is None:
-            t = _init_from_graph(self.g, colors, bit)
+            t = _init_from_graph(self.g, colors, bit, self.start_mask)
         else:
-            t = _init_from_child(child0)
+            t = _init_from_child(child0, self.start_mask)
         if path_labels[0] in node_tables:
             t = _node_join(bit, t, node_tables[path_labels[0]], True)
         if path_labels[1] in node_tables:
@@ -522,6 +570,31 @@ def solve_plan_vectorized(
     result = solver.solve(root)
     assert isinstance(result, int), "root cycle must produce a scalar"
     return result
+
+
+def solve_block_shard(
+    block: Block,
+    g: Graph,
+    colors: np.ndarray,
+    k: int,
+    children: Sequence[Tuple[Block, object]] = (),
+    start_mask: Optional[np.ndarray] = None,
+) -> object:
+    """Solve one block's table restricted to ``start_mask`` start vertices.
+
+    The shard-restricted sweep entry used by the distributed executor:
+    ``children`` supplies the already-combined (full) tables of every
+    descendant block, so only this block's own path sweep runs — over the
+    rows whose start image the mask owns.  Returns a ``VecUnaryTable`` /
+    ``VecBinaryTable`` shard, or a partial ``int`` for a 0-boundary root
+    cycle.  Combining the shards of all masks of a partition reproduces
+    the sequential table bit for bit (integer sums are exact and every
+    path row lives in exactly one shard).
+    """
+    solver = VectorizedSolver(g, colors, k, start_mask=start_mask)
+    for child, table in children:
+        solver.inject(child, table)
+    return solver.solve(block)
 
 
 def count_colorful_ps_vec(

@@ -1,6 +1,13 @@
-"""Simulated distributed engine: partitions, runtime accounting, metrics."""
+"""Distributed engine: real sharded execution plus the simulated predictor.
 
-from .engine import DEFAULT_KAPPA, DistributedRun, run_distributed
+The ``ps-dist`` executor (:mod:`repro.distributed.executor`) runs the
+vectorized PS dynamic program across real worker processes over
+shared-memory CSR shards; the historical simulation (``runtime`` /
+``metrics``) stays as its prediction and planning layer.
+"""
+
+from .engine import DEFAULT_KAPPA, DistributedRun, ShardedRun, run_distributed, run_sharded
+from .executor import ShardedExecutor, ShardResult, count_colorful_ps_dist
 from .metrics import (
     MethodComparison,
     ScalingCurve,
@@ -15,10 +22,24 @@ from .partition import (
     hash_partition,
     make_partition,
 )
-from .runtime import ExecutionContext, LoadStats, StageRecord, sequential_context
+from .runtime import (
+    ExecutionContext,
+    LoadStats,
+    StageRecord,
+    WallStageRecord,
+    WallStats,
+    sequential_context,
+)
 from .trace import format_trace, hotspots, rank_profile, stage_report
 
 __all__ = [
+    "ShardedExecutor",
+    "ShardResult",
+    "ShardedRun",
+    "run_sharded",
+    "count_colorful_ps_dist",
+    "WallStageRecord",
+    "WallStats",
     "Partition",
     "block_partition",
     "cyclic_partition",

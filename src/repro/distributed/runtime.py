@@ -1,12 +1,12 @@
-"""Simulated BSP cluster: rank-attributed operation and message accounting.
+"""Rank-attributed accounting: predicted (simulated) and measured stats.
 
 The paper runs on Blue Gene/Q with MPI ranks; its scaling results are
 driven by how projection-table operations distribute over the ranks that
 own the table entries (Section 7's ownership rule: entry ``(u, v, α)``
-lives at the owner of ``v``).  This module executes the *real* algorithm
-once while attributing every operation to the rank that would perform it
-and every cross-owner hand-off to a message, organised in supersteps
-(one per join stage).  Modeled makespan::
+lives at the owner of ``v``).  :class:`LoadStats` executes the *real*
+algorithm once while attributing every operation to the rank that would
+perform it and every cross-owner hand-off to a message, organised in
+supersteps (one per join stage).  Modeled makespan::
 
     T(R) = Σ_stages  max_r ( ops_r + κ · msgs_r )
 
@@ -14,6 +14,13 @@ with κ the cost of shipping one table entry relative to one local table
 operation.  Speedups and load statistics (Figures 11-13) are derived from
 these counters.  See DESIGN.md §2 for why this substitution preserves the
 paper's observed behaviour.
+
+Since the ``ps-dist`` executor (:mod:`repro.distributed.executor`) runs
+shards in real worker processes, the simulated counters serve as the
+**predicted** cost model; :class:`WallStats` is its measured twin —
+per-rank wall/CPU seconds per superstep, recorded from the actual run,
+with the same makespan/imbalance/speedup surface so predicted and
+measured numbers can be compared side by side.
 """
 
 from __future__ import annotations
@@ -25,7 +32,14 @@ import numpy as np
 from ..graph.graph import Graph
 from .partition import Partition, make_partition
 
-__all__ = ["StageRecord", "LoadStats", "ExecutionContext", "sequential_context"]
+__all__ = [
+    "StageRecord",
+    "LoadStats",
+    "WallStageRecord",
+    "WallStats",
+    "ExecutionContext",
+    "sequential_context",
+]
 
 
 class StageRecord:
@@ -129,6 +143,86 @@ class LoadStats:
             # conservative: keep all messages (some became rank-local)
             rec.msgs += s.msgs.reshape(-1, factor).sum(axis=1)
         return out
+
+
+class WallStageRecord:
+    """Measured per-rank timings for one superstep of a real sharded run.
+
+    ``cpu`` is per-rank process CPU seconds (robust when workers share
+    cores), ``wall`` per-rank wall seconds, ``rows`` the number of table
+    rows the rank shipped in the boundary exchange of this stage.
+    """
+
+    __slots__ = ("name", "cpu", "wall", "rows")
+
+    def __init__(self, name: str, nranks: int) -> None:
+        self.name = name
+        self.cpu = np.zeros(nranks, dtype=np.float64)
+        self.wall = np.zeros(nranks, dtype=np.float64)
+        self.rows = np.zeros(nranks, dtype=np.int64)
+
+    def makespan(self) -> float:
+        """Measured critical path of the stage: slowest rank's CPU time."""
+        return float(np.max(self.cpu))
+
+
+class WallStats:
+    """Measured per-rank timings for one sharded run (LoadStats' twin).
+
+    The simulated :class:`LoadStats` predicts where time goes; this class
+    records where it actually went, superstep by superstep.  The
+    *critical path* sums each stage's slowest rank — the measured
+    analogue of the modeled makespan, and the strong-scaling metric the
+    scaling bench reports (CPU seconds, so oversubscribed CI runners
+    where workers time-slice cores still measure shard compute).
+    """
+
+    def __init__(self, nranks: int) -> None:
+        self.nranks = nranks
+        self.stages: List[WallStageRecord] = []
+        #: end-to-end wall seconds including orchestration (set by the executor)
+        self.wall_seconds: float = 0.0
+
+    def new_stage(self, name: str) -> WallStageRecord:
+        rec = WallStageRecord(name, self.nranks)
+        self.stages.append(rec)
+        return rec
+
+    # -- aggregates -----------------------------------------------------
+    def total_cpu(self) -> float:
+        """Summed CPU seconds over all ranks and stages (serial-work proxy)."""
+        return float(sum(s.cpu.sum() for s in self.stages))
+
+    def per_rank_cpu(self) -> np.ndarray:
+        out = np.zeros(self.nranks)
+        for s in self.stages:
+            out += s.cpu
+        return out
+
+    def critical_seconds(self) -> float:
+        """Measured makespan: sum of each superstep's slowest rank."""
+        return float(sum(s.makespan() for s in self.stages))
+
+    def exchanged_rows(self) -> int:
+        """Total table rows shipped through the boundary exchange."""
+        return int(sum(int(s.rows.sum()) for s in self.stages))
+
+    def imbalance(self) -> float:
+        """max/avg per-rank CPU seconds; 1.0 is perfectly balanced."""
+        per_rank = self.per_rank_cpu()
+        avg = float(per_rank.mean()) if self.nranks else 0.0
+        return float(per_rank.max()) / avg if avg > 0 else 1.0
+
+    def speedup_over(self, baseline: "WallStats") -> float:
+        """Measured strong-scaling speedup vs a (usually 1-rank) baseline."""
+        crit = self.critical_seconds()
+        return baseline.critical_seconds() / crit if crit > 0 else 1.0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"WallStats(nranks={self.nranks}, stages={len(self.stages)}, "
+            f"critical={self.critical_seconds():.4f}s)"
+        )
 
 
 class ExecutionContext:

@@ -21,8 +21,9 @@ Pieces:
 * :class:`RunResult` — estimate + provenance (backend, plan, timings,
   optional :class:`LoadStats`);
 * :class:`BackendRegistry` / :func:`register_backend` — the pluggable
-  kernel seam (``ps``, ``db``, ``ps-even``, ``treelet``, ``bruteforce``
-  built in; ``method="auto"`` picks per query).
+  kernel seam (``ps``, ``db``, ``ps-even``, ``ps-vec``, ``ps-dist``,
+  ``treelet``, ``bruteforce`` built in; ``method="auto"`` picks per
+  query and input size).
 """
 
 from .backends import (
@@ -30,6 +31,8 @@ from .backends import (
     BackendRegistry,
     CountingBackend,
     DEFAULT_REGISTRY,
+    DIST_AUTO_MIN_SIZE,
+    DIST_METHOD,
     VEC_AUTO_MIN_SIZE,
     available_backends,
     get_backend,
@@ -53,4 +56,6 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "AUTO",
     "VEC_AUTO_MIN_SIZE",
+    "DIST_AUTO_MIN_SIZE",
+    "DIST_METHOD",
 ]

@@ -1,12 +1,14 @@
 """Pluggable counting backends behind one protocol.
 
 Every kernel in the repo — the PS baseline, the DB contribution, the
-``ps-even`` ablation, the FASCIA-style treelet DP and the brute-force
-reference — is wrapped as a :class:`CountingBackend`: one object with a
-uniform ``count_colorful(g, query, colors, ...)`` surface plus the
-capability flags the engine needs for dispatch (does it consume a
-decomposition plan? can it attribute work to simulated ranks? which
-queries/palettes does it support?).
+``ps-even`` ablation, the vectorized ``ps-vec`` kernels, the sharded
+multiprocess ``ps-dist`` executor, the FASCIA-style treelet DP and the
+brute-force reference — is wrapped as a :class:`CountingBackend`: one
+object with a uniform ``count_colorful(g, query, colors, ...)`` surface
+plus the capability flags the engine needs for dispatch (does it consume
+a decomposition plan? can it attribute work to simulated ranks? does
+``workers`` mean shard processes? which queries/palettes does it
+support?).
 
 Backends live in a :class:`BackendRegistry`.  Registering a new kernel
 is a decorator::
@@ -28,6 +30,7 @@ import numpy as np
 
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
+from ..distributed.executor import count_colorful_ps_dist
 from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
@@ -46,6 +49,8 @@ __all__ = [
     "DEFAULT_REGISTRY",
     "AUTO",
     "VEC_AUTO_MIN_SIZE",
+    "DIST_AUTO_MIN_SIZE",
+    "DIST_METHOD",
 ]
 
 #: sentinel method name resolved per query by the registry
@@ -55,6 +60,15 @@ AUTO = "auto"
 #: backend once ``n + m`` reaches this size — below it, per-call numpy
 #: overhead can exceed the interpreter cost the vectorization removes
 VEC_AUTO_MIN_SIZE = 2000
+
+#: ``method="auto"`` escalates from ``ps-vec`` to the sharded multiprocess
+#: executor on very large inputs (``n + m`` at least this size) when the
+#: caller asked for ``workers > 1`` — below it, process orchestration
+#: overhead eats the parallel gain
+DIST_AUTO_MIN_SIZE = 150_000
+
+#: registry name of the sharded multiprocess backend
+DIST_METHOD = "ps-dist"
 
 
 class CountingBackend:
@@ -72,6 +86,9 @@ class CountingBackend:
     needs_plan: bool = False
     #: whether the kernel attributes operations to a simulated context
     tracks_load: bool = False
+    #: whether ``workers`` means shard processes (engine passes a pooled
+    #: executor and runs trials sequentially) rather than trial fan-out
+    distributed: bool = False
 
     def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Whether this backend can count ``query`` under the palette."""
@@ -149,6 +166,46 @@ class VectorizedBackend(CountingBackend):
         plan = plan if plan is not None else heuristic_plan(query)
         return solve_plan_vectorized(
             plan, g, np.asarray(colors), num_colors=num_colors
+        )
+
+
+class DistributedBackend(CountingBackend):
+    """``ps-dist`` — the vectorized PS DP sharded across worker processes.
+
+    Partitions the data graph's vertices over real OS processes
+    (shared-memory CSR, boundary table exchange between supersteps) and
+    reduces per-shard results to a count bit-identical to ``ps``/
+    ``ps-vec``.  The ``distributed`` flag tells the engine to interpret
+    ``workers`` as the shard count (and to reuse a pooled
+    :class:`~repro.distributed.executor.ShardedExecutor` across trials)
+    instead of fanning trials out.
+    """
+
+    name = DIST_METHOD
+    needs_plan = True
+    tracks_load = False
+    #: engine dispatch hint: ``workers`` means shard ranks, not trial fan-out
+    distributed = True
+
+    def supports(self, query, num_colors=None):
+        """Same envelope as ``ps-vec``: palette must fit one int64 word."""
+        kc = num_colors if num_colors is not None else query.k
+        return kc <= MAX_COLORS_VEC
+
+    def count_colorful(
+        self, g, query, colors, plan=None, ctx=None, num_colors=None,
+        workers=None, partition="block", executor=None,
+    ):
+        """Run the sharded executor (ctx is ignored; see ``tracks_load``).
+
+        ``executor`` reuses a live worker pool (the engine passes its
+        cached one); otherwise a transient pool is created for this call.
+        """
+        self.check(query, num_colors)
+        plan = plan if plan is not None else heuristic_plan(query)
+        return count_colorful_ps_dist(
+            g, query, colors, plan=plan, num_colors=num_colors,
+            workers=workers, strategy=partition, executor=executor,
         )
 
 
@@ -275,23 +332,36 @@ class BackendRegistry:
         num_colors: Optional[int] = None,
         need_load_tracking: bool = False,
         graph: Optional[Graph] = None,
+        workers: int = 1,
     ) -> CountingBackend:
         """Pick the backend for ``method`` (handling ``"auto"``) and
         verify it supports the query/palette/tracking combination.
 
         ``auto`` picks per query (and, when ``graph`` is given, per input
         size): the treelet DP for acyclic queries under the paper's
-        palette, the vectorized PS kernels for large inputs, DB otherwise.
+        palette, the sharded multiprocess executor for very large inputs
+        when ``workers > 1`` was requested, the vectorized PS kernels for
+        large inputs, DB otherwise.
         """
         if method == AUTO:
             treelet = self._backends.get("treelet")
             vec = self._backends.get(VEC_METHOD)
+            dist = self._backends.get(DIST_METHOD)
             if (
                 not need_load_tracking
                 and treelet is not None
                 and treelet.supports(query, num_colors)
             ):
                 backend = treelet
+            elif (
+                not need_load_tracking
+                and workers > 1
+                and dist is not None
+                and dist.supports(query, num_colors)
+                and graph is not None
+                and graph.n + graph.m >= DIST_AUTO_MIN_SIZE
+            ):
+                backend = dist
             elif (
                 not need_load_tracking
                 and vec is not None
@@ -318,6 +388,7 @@ def _make_default_registry() -> BackendRegistry:
     for method in METHODS:  # ps, db, ps-even
         reg.register(SolverBackend(method))
     reg.register(VectorizedBackend())
+    reg.register(DistributedBackend())
     reg.register(TreeletBackend())
     reg.register(BruteforceBackend())
     return reg

@@ -32,8 +32,13 @@ class EngineConfig:
 
     ``method="db"`` keeps the paper's contribution as the default kernel;
     pass ``method="auto"`` to let the registry pick per query (treelet DP
-    for trees, DB otherwise).  ``nranks > 1`` attaches a simulated-rank
-    execution context to every run and reports its :class:`LoadStats`.
+    for trees, ``ps-dist`` for huge inputs when ``workers > 1``,
+    ``ps-vec`` for large ones, DB otherwise).  ``nranks > 1`` attaches a
+    simulated-rank execution context to every run and reports its
+    :class:`LoadStats` — the *predicted* cost model.  ``workers`` fans
+    independent trials over processes for ordinary backends; for the
+    distributed ``ps-dist`` backend it is the shard count and
+    ``partition_strategy`` picks how vertices map to shard processes.
     """
 
     method: str = "db"

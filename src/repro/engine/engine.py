@@ -16,7 +16,11 @@ Single queries run through :meth:`CountingEngine.count`, batches through
 objects or raw queries plus keyword overrides.  ``workers=N`` fans the
 independent color-coding trials out over processes, bit-identical to the
 sequential path for the same seed (colorings are drawn up front from the
-same deterministic batch).
+same deterministic batch).  With a *distributed* backend
+(``method="ps-dist"``) ``workers`` instead sizes the shard pool: each
+trial runs once, sharded across N real worker processes, and the engine
+keeps the pool alive across trials/requests (a fourth cache — close it
+with :meth:`CountingEngine.close` or an engine ``with`` block).
 """
 
 from __future__ import annotations
@@ -25,7 +29,10 @@ import multiprocessing as mp
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from ..distributed.executor import ShardedExecutor
 
 from ..counting.colorings import coloring_batch
 from ..counting.bruteforce import count_matches
@@ -118,6 +125,7 @@ class CountingEngine:
         self.stats = EngineStats()
         self._plan_cache: Dict[QueryGraph, Plan] = {}
         self._partition_cache: Dict[Tuple[int, str], Partition] = {}
+        self._executor_cache: Dict[Tuple[int, str], "ShardedExecutor"] = {}
 
     # ------------------------------------------------------------------
     # caches
@@ -155,10 +163,42 @@ class CountingEngine:
         nranks = nranks if nranks is not None else self.config.nranks
         return ExecutionContext(self.partition_for(nranks), track=track)
 
+    def executor_for(self, workers: int, strategy: Optional[str] = None) -> "ShardedExecutor":
+        """The cached live :class:`ShardedExecutor` for ``(workers, strategy)``.
+
+        Worker pools are expensive to start, so the engine keeps them
+        alive across requests and trials; :meth:`close` (or leaving an
+        engine ``with`` block) stops them.  A pool that died (worker
+        crash) is transparently replaced.
+        """
+        from ..distributed.executor import ShardedExecutor
+
+        strategy = strategy or self.config.partition_strategy
+        key = (workers, strategy)
+        executor = self._executor_cache.get(key)
+        if executor is None or executor.closed:
+            executor = ShardedExecutor(self.graph, workers=workers, strategy=strategy)
+            self._executor_cache[key] = executor
+        return executor
+
+    def close(self) -> None:
+        """Stop any live shard-worker pools (idempotent)."""
+        for executor in self._executor_cache.values():
+            executor.close()
+        self._executor_cache.clear()
+
+    def __enter__(self) -> "CountingEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
     def clear_caches(self) -> None:
-        """Drop cached plans and partitions (counters are kept)."""
+        """Drop cached plans/partitions and stop pooled executors
+        (counters are kept)."""
         self._plan_cache.clear()
         self._partition_cache.clear()
+        self.close()
 
     # ------------------------------------------------------------------
     # counting
@@ -181,11 +221,24 @@ class CountingEngine:
         backend = self.registry.resolve(
             method, query, num_colors,
             need_load_tracking=ctx is not None, graph=self.graph,
+            workers=self.config.workers,
         )
         if backend.needs_plan and plan is None:
             plan, _ = self._plan_for(query)
         return backend.count_colorful(
-            self.graph, query, colors, plan=plan, ctx=ctx, num_colors=num_colors
+            self.graph, query, colors, plan=plan, ctx=ctx, num_colors=num_colors,
+            **self._distributed_extra(backend, self.config.workers),
+        )
+
+    def _distributed_extra(self, backend, workers: int) -> Dict[str, object]:
+        """Extra kwargs for a distributed backend: shard count, partition
+        strategy, and the engine's pooled executor (empty otherwise)."""
+        if not backend.distributed:
+            return {}
+        return dict(
+            workers=workers,
+            partition=self.config.partition_strategy,
+            executor=self.executor_for(workers),
         )
 
     def count(self, request: Union[CountRequest, QueryGraph], **overrides) -> RunResult:
@@ -238,7 +291,11 @@ class CountingEngine:
         backend = self.registry.resolve(
             r.method, q, r.num_colors,
             need_load_tracking=ctx is not None, graph=self.graph,
+            workers=r.workers,
         )
+        # for a distributed backend ``workers`` is the shard count: trials
+        # run sequentially, each sharded across the pooled worker processes
+        distributed = backend.distributed
 
         plan, plan_cached = r.plan, r.plan is not None
         if plan is None and backend.needs_plan:
@@ -248,7 +305,7 @@ class CountingEngine:
             self.graph.n, kc, r.trials, r.seed, strategy=r.coloring_strategy
         )
 
-        workers = min(r.workers, r.trials)
+        workers = r.workers if distributed else min(r.workers, r.trials)
         if workers > 1 and ctx is not None:
             # per-rank accounting mutates one shared context; trials must
             # run in-process to keep the LoadStats coherent
@@ -263,7 +320,11 @@ class CountingEngine:
             fork = mp.get_context("fork")
         except ValueError:
             fork = None
-        parallel = workers > 1 and r.trials >= 2 and ctx is None and fork is not None
+        parallel = (
+            not distributed
+            and workers > 1 and r.trials >= 2 and ctx is None and fork is not None
+        )
+        extra = self._distributed_extra(backend, workers)
         t0 = time.perf_counter()
         trial_times: Optional[List[float]]
         if parallel:
@@ -275,7 +336,8 @@ class CountingEngine:
                 counts = pool.map(_run_trial, colorings)
             trial_times = None
         else:
-            workers = 1
+            if not distributed:
+                workers = 1
             counts = []
             trial_times = []
             for colors in colorings:
@@ -283,7 +345,7 @@ class CountingEngine:
                 counts.append(
                     backend.count_colorful(
                         self.graph, q, colors, plan=plan, ctx=ctx,
-                        num_colors=r.num_colors,
+                        num_colors=r.num_colors, **extra,
                     )
                 )
                 trial_times.append(time.perf_counter() - t1)

@@ -196,3 +196,65 @@ class TestPerfSmokeCLI:
         rc = harness_main(["--repeats", "1", "--baseline", str(base)])
         assert rc == 1
         assert "REGRESSIONS" in capsys.readouterr().out
+
+
+class TestScalingBench:
+    """The ps-dist strong-scaling bench and its CLI entry point."""
+
+    def test_run_scaling_bench_structure_and_parity(self):
+        from repro.bench import SCALING_GRID, run_scaling_bench
+        from repro.engine import EngineConfig
+
+        doc = run_scaling_bench(workers=(1, 2), repeats=1,
+                                config=EngineConfig(seed=0))
+        assert doc["workers"] == [1, 2]
+        assert doc["seed"] == 0
+        assert len(doc["speedups"]) == len(SCALING_GRID)
+        assert len(doc["records"]) == 2 * len(SCALING_GRID)
+        for rec in doc["records"]:
+            assert rec["critical_seconds"] > 0
+            assert rec["calibrated"] > 0
+            assert rec["count"] >= 0
+        # counts are identical at every worker count (asserted inside the
+        # bench; re-check through the records)
+        by_cell = {}
+        for rec in doc["records"]:
+            by_cell.setdefault((rec["graph"], rec["query"]), set()).add(rec["count"])
+        assert all(len(counts) == 1 for counts in by_cell.values())
+        assert doc["speedup_at_max"] > 0
+
+    def test_scaling_bench_is_deterministic_in_counts(self):
+        from repro.bench import run_scaling_bench
+        from repro.engine import EngineConfig
+
+        a = run_scaling_bench(workers=(1,), repeats=1, config=EngineConfig(seed=3))
+        b = run_scaling_bench(workers=(1,), repeats=1, config=EngineConfig(seed=3))
+        assert [r["count"] for r in a["records"]] == [r["count"] for r in b["records"]]
+
+    def test_scaling_cli_emits_json_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_scaling.json"
+        rc = harness_main([
+            "--scaling", "--workers", "1,2", "--repeats", "1",
+            "--emit-json", str(out), "--assert-speedup", "0.01",
+        ])
+        assert rc == 0
+        doc = load_bench_json(str(out))
+        assert doc["workers"] == [1, 2]
+        assert "speedup_at_max" in doc and "speedups" in doc
+        assert {r["workers"] for r in doc["records"]} == {1, 2}
+        out_text = capsys.readouterr().out
+        assert "strong scaling" in out_text
+
+    def test_scaling_cli_gate_fails_on_impossible_speedup(self, capsys):
+        rc = harness_main([
+            "--scaling", "--workers", "1,2", "--repeats", "1",
+            "--assert-speedup", "1e9",
+        ])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_invalid_worker_counts_rejected(self):
+        from repro.bench import run_scaling_bench
+
+        with pytest.raises(ValueError, match="worker counts"):
+            run_scaling_bench(workers=(0, 2), repeats=1)

@@ -50,6 +50,48 @@ class TestHashPartition:
         assert sizes.min() > 700
 
 
+class TestEdgeCases:
+    """Degenerate shapes the real sharded executor must survive."""
+
+    @pytest.mark.parametrize("strategy", ["block", "cyclic", "hash"])
+    def test_empty_graph(self, strategy):
+        p = make_partition(0, 3, strategy)
+        assert p.nranks == 3
+        assert len(p.owners) == 0
+        assert p.rank_sizes().sum() == 0
+
+    @pytest.mark.parametrize("strategy", ["block", "cyclic", "hash"])
+    def test_single_vertex(self, strategy):
+        p = make_partition(1, 4, strategy)
+        assert len(p.owners) == 1
+        assert 0 <= p.owner(0) < 4
+        assert p.rank_sizes().sum() == 1
+
+    @pytest.mark.parametrize("strategy", ["block", "cyclic", "hash"])
+    def test_more_ranks_than_vertices(self, strategy):
+        p = make_partition(3, 8, strategy)
+        assert len(p.owners) == 3
+        assert p.rank_sizes().sum() == 3
+        # some ranks necessarily own nothing; none own out-of-range ids
+        assert (p.owners >= 0).all() and (p.owners < 8).all()
+
+    @pytest.mark.parametrize("strategy", ["block", "cyclic", "hash"])
+    @pytest.mark.parametrize("n,nranks", [(0, 1), (1, 1), (7, 3), (100, 7), (5, 9)])
+    def test_round_trip_every_vertex_owned_exactly_once(self, strategy, n, nranks):
+        """Shard masks tile the vertex set: a partition of the vertices."""
+        p = make_partition(n, nranks, strategy)
+        masks = [p.owners == r for r in range(nranks)]
+        coverage = np.sum(masks, axis=0) if n else np.zeros(0)
+        assert (coverage == 1).all()  # exactly one owner per vertex
+        assert sum(int(m.sum()) for m in masks) == n
+        assert p.rank_sizes().tolist() == [int(m.sum()) for m in masks]
+
+    def test_block_partition_is_contiguous_and_monotone(self):
+        p = block_partition(11, 4)
+        diffs = np.diff(p.owners)
+        assert ((diffs == 0) | (diffs == 1)).all()
+
+
 class TestFactory:
     def test_strategies(self):
         for s in ("block", "cyclic", "hash"):
