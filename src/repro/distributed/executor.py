@@ -1,0 +1,515 @@
+"""Real sharded multiprocess executor for the vectorized PS dynamic program.
+
+This is the ``ps-dist`` backend: the data graph's vertices are
+partitioned across N worker *processes* (reusing the
+:mod:`repro.distributed.partition` strategies), each worker runs the
+shard-restricted vectorized PS sweep over the rows whose path-start
+vertex it owns, and between supersteps the per-shard boundary table
+slices are exchanged through the master and re-combined into the full
+projection tables every rank needs for its next join.  Summing the
+per-shard results reproduces the sequential ``ps``/``ps-vec`` count **bit
+for bit**: integer table sums are exact, and the shard invariant (path
+extensions never change a row's start vertex) puts every table row in
+exactly one shard.
+
+Data placement
+--------------
+* the CSR adjacency (``indptr``/``indices``) and the per-trial coloring
+  live in :mod:`multiprocessing.shared_memory` segments — workers map
+  them zero-copy and read-only (:class:`_ShardGraph` is a view, never a
+  copy of the graph);
+* decomposition plans are shipped once per executor (workers re-derive
+  the same bottom-up block order from ``Plan.blocks()``);
+* boundary table slices travel over per-worker pipes: worker → master
+  (shard), master → workers (combined), one round per superstep.
+
+Measured vs predicted
+---------------------
+Each worker reports per-stage CPU and wall seconds, collected into a
+:class:`repro.distributed.runtime.WallStats` — the *measured* side of the
+runtime.  The long-standing simulated :class:`LoadStats` accounting stays
+as the *predicted* cost model; :func:`repro.distributed.engine.run_sharded`
+returns both so plans can be validated against reality.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import time
+import weakref
+from multiprocessing import shared_memory
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..counting.vectorized import (
+    MAX_COLORS_VEC,
+    VecBinaryTable,
+    VecUnaryTable,
+    VectorizedSolver,
+    _SUM_LIMIT,
+    _group_sum,
+)
+from ..decomposition.blocks import LEAF, SINGLETON
+from ..decomposition.planner import heuristic_plan
+from ..decomposition.tree import Plan
+from ..graph.graph import CSR, Graph
+from ..query.query import QueryGraph
+from .partition import make_partition
+from .runtime import WallStats
+
+__all__ = ["ShardedExecutor", "ShardResult", "count_colorful_ps_dist", "DEFAULT_DIST_WORKERS"]
+
+#: shard count used when callers pass ``workers=None``
+DEFAULT_DIST_WORKERS = min(4, os.cpu_count() or 1)
+
+
+class ShardResult(NamedTuple):
+    """One distributed counting run: the exact count plus measured stats."""
+
+    count: int
+    stats: WallStats
+
+
+class _ShardGraph:
+    """Zero-copy CSR view over the shared-memory adjacency arrays.
+
+    Quacks enough like :class:`repro.graph.graph.Graph` for the
+    vectorized kernels (``n``, ``degrees``, ``to_csr``) without ever
+    copying ``indptr``/``indices`` out of shared memory.
+    """
+
+    __slots__ = ("n", "m", "indptr", "indices", "degrees")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+        self.n = len(indptr) - 1
+        self.m = len(indices) // 2
+        self.indptr = indptr
+        self.indices = indices
+        self.degrees = np.diff(indptr)
+
+    def to_csr(self) -> CSR:
+        return CSR(self.indptr, self.indices)
+
+
+# ----------------------------------------------------------------------
+# table payloads (pipe exchange format: plain tuples of arrays)
+# ----------------------------------------------------------------------
+
+def _pack(result: object) -> tuple:
+    """Flatten a solved block result for pipe transport."""
+    if isinstance(result, (int, np.integer)):
+        return ("count", int(result))
+    if isinstance(result, VecUnaryTable):
+        return ("unary", result.boundary, result.u, result.sig, result.cnt)
+    if isinstance(result, VecBinaryTable):
+        return ("binary", result.boundary, result.u, result.v, result.sig, result.cnt)
+    raise TypeError(f"unexpected block result {type(result).__name__}")
+
+
+def _unpack(payload: tuple) -> object:
+    """Rebuild a table object from its pipe payload."""
+    kind = payload[0]
+    if kind == "count":
+        return payload[1]
+    if kind == "unary":
+        return VecUnaryTable(payload[1], payload[2], payload[3], payload[4])
+    return VecBinaryTable(payload[1], payload[2], payload[3], payload[4], payload[5])
+
+
+def _payload_rows(payload: tuple) -> int:
+    """Number of table rows a payload ships (0 for scalar counts)."""
+    return 0 if payload[0] == "count" else len(payload[-1])
+
+
+def _combine_shards(payloads: Sequence[tuple]) -> object:
+    """Reduce per-rank shards into the full table (or total count).
+
+    Shard keys may overlap when a block's output is keyed by a path *end*
+    vertex, so the concatenation is re-aggregated with the same
+    lexsort + segment-sum the sequential kernels use — the combined table
+    is bit-identical to the one the unsharded solver builds, including
+    the int64 overflow guards.
+    """
+    kind = payloads[0][0]
+    if any(p[0] != kind for p in payloads):  # pragma: no cover - protocol bug guard
+        raise RuntimeError("mixed shard payload kinds")
+    if kind == "count":
+        total = sum(p[1] for p in payloads)
+        if float(total) > _SUM_LIMIT:
+            raise OverflowError(
+                "ps-dist total count would exceed int64; rerun with the "
+                "arbitrary-precision 'ps' backend"
+            )
+        return total
+    if kind == "unary":
+        boundary = payloads[0][1]
+        u = np.concatenate([p[2] for p in payloads])
+        sig = np.concatenate([p[3] for p in payloads])
+        cnt = np.concatenate([p[4] for p in payloads])
+        (u, sig), cnt = _group_sum((u, sig), cnt)
+        return VecUnaryTable(boundary, u, sig, cnt)
+    boundary = payloads[0][1]
+    u = np.concatenate([p[2] for p in payloads])
+    v = np.concatenate([p[3] for p in payloads])
+    sig = np.concatenate([p[4] for p in payloads])
+    cnt = np.concatenate([p[5] for p in payloads])
+    (u, v, sig), cnt = _group_sum((u, v, sig), cnt)
+    return VecBinaryTable(boundary, u, v, sig, cnt)
+
+
+# ----------------------------------------------------------------------
+# worker process
+# ----------------------------------------------------------------------
+
+def _attach_shm(name: str) -> shared_memory.SharedMemory:
+    """Attach to a named segment created by the master.
+
+    Workers are multiprocessing children: on POSIX the master's
+    resource-tracker fd is handed to them for every start method (fork
+    inherits it, spawn/forkserver ship it in the preparation data), so
+    the register performed by attaching is an idempotent duplicate of the
+    master's create-time registration and cleanup stays solely with the
+    master's unlink.  Do NOT unregister here — that would strip the
+    shared tracker's entry and make the master's unlink double-remove
+    (observed as KeyError spam from the tracker).  On Windows named
+    shared memory has no tracker/unlink semantics at all.
+    """
+    return shared_memory.SharedMemory(name=name)
+
+
+def _worker_main(
+    conn,
+    rank: int,
+    nranks: int,
+    strategy: str,
+    shm_names: Sequence[str],
+    n: int,
+    nnz: int,
+) -> None:  # pragma: no cover - exercised in subprocesses
+    """Worker loop: solve shard-restricted blocks on request.
+
+    Protocol (master → worker): ``("plan", key, plan)`` registers a plan,
+    ``("trial", key, k)`` starts a trial (fresh solver over the current
+    shared coloring), ``("block", idx)`` solves one block's shard,
+    ``("table", idx, payload)`` installs a combined child table,
+    ``("stop",)`` exits.  Worker → master: ``("shard", idx, payload,
+    cpu_seconds, wall_seconds)`` or ``("error", exception)``.
+    """
+    shms = [_attach_shm(nm) for nm in shm_names]
+    indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=shms[0].buf)
+    indices = np.ndarray((nnz,), dtype=np.int64, buffer=shms[1].buf)
+    colors = np.ndarray((n,), dtype=np.int64, buffer=shms[2].buf)
+    g = _ShardGraph(indptr, indices)
+    start_mask = make_partition(n, nranks, strategy).owners == rank
+    plans: Dict[int, List] = {}
+    blocks: Optional[List] = None
+    solver: Optional[VectorizedSolver] = None
+    # the master only ever recv()s one reply per "block" request, so a
+    # failure in any other op is held here and reported on the next
+    # "block" — sending it eagerly would desync the request/reply pairing
+    pending_error: Optional[BaseException] = None
+    try:
+        while True:
+            try:
+                msg = conn.recv()
+            except EOFError:
+                break
+            op = msg[0]
+            if op == "stop":
+                break
+            try:
+                if op == "plan":
+                    plans[msg[1]] = msg[2].blocks()
+                elif op == "trial":
+                    blocks = plans[msg[1]]
+                    solver = VectorizedSolver(g, colors, msg[2], start_mask=start_mask)
+                    pending_error = None  # stale failures die with their trial
+                elif op == "block":
+                    if pending_error is not None:
+                        conn.send(("error", pending_error))
+                        pending_error = None
+                        continue
+                    idx = msg[1]
+                    wall0 = time.perf_counter()
+                    cpu0 = time.process_time()
+                    result = solver.solve(blocks[idx])
+                    cpu = time.process_time() - cpu0
+                    wall = time.perf_counter() - wall0
+                    conn.send(("shard", idx, _pack(result), cpu, wall))
+                elif op == "table":
+                    solver.inject(blocks[msg[1]], _unpack(msg[2]))
+            except Exception as exc:  # noqa: BLE001 - forwarded to the master
+                if op == "block":
+                    conn.send(("error", exc))
+                else:
+                    pending_error = exc
+    finally:
+        conn.close()
+        for shm in shms:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+
+# ----------------------------------------------------------------------
+# master
+# ----------------------------------------------------------------------
+
+def _release(procs, conns, shms) -> None:
+    """Tear down workers and shared memory (finalizer-safe, idempotent)."""
+    for conn in conns:
+        try:
+            conn.send(("stop",))
+        except Exception:
+            pass
+    for proc in procs:
+        proc.join(timeout=1.0)
+        if proc.is_alive():
+            proc.terminate()
+            proc.join(timeout=1.0)
+    for conn in conns:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    for shm in shms:
+        try:
+            shm.close()
+        except Exception:
+            pass
+        try:
+            shm.unlink()
+        except Exception:
+            pass
+
+
+def _share_array(arr: np.ndarray) -> Tuple[shared_memory.SharedMemory, np.ndarray]:
+    """Copy ``arr`` into a fresh shared-memory segment, return (shm, view)."""
+    arr = np.ascontiguousarray(arr, dtype=np.int64)
+    shm = shared_memory.SharedMemory(create=True, size=max(arr.nbytes, 8))
+    view = np.ndarray(arr.shape, dtype=np.int64, buffer=shm.buf)
+    view[:] = arr
+    return shm, view
+
+
+class ShardedExecutor:
+    """Persistent pool of shard workers bound to one data graph.
+
+    Construction maps the graph into shared memory and spawns ``workers``
+    processes; :meth:`count` then runs one coloring trial through the
+    sharded DP.  Reuse the executor across trials and plans — per-call
+    cost is one small message round per decomposition block.  Close with
+    :meth:`close` or a ``with`` block; a dropped executor is reclaimed by
+    a finalizer (workers are daemons, segments are unlinked).
+
+    ``strategy`` picks the vertex partition (``block`` — the paper's
+    choice — ``cyclic`` or ``hash``); the partition decides both shard
+    load balance and which table rows each rank produces.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        workers: Optional[int] = None,
+        strategy: str = "block",
+        start_method: Optional[str] = None,
+    ) -> None:
+        nranks = int(workers) if workers is not None else DEFAULT_DIST_WORKERS
+        if nranks < 1:
+            raise ValueError("need at least one worker")
+        # validate the strategy eagerly, before processes exist
+        make_partition(graph.n, nranks, strategy)
+        self.graph = graph
+        self.nranks = nranks
+        self.strategy = strategy
+        if start_method is None:
+            start_method = "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+        ctx = mp.get_context(start_method)
+
+        indptr, indices = graph.to_csr()
+        shm_ip, _ = _share_array(indptr)
+        shm_ix, _ = _share_array(indices)
+        shm_co, colors_view = _share_array(np.zeros(graph.n, dtype=np.int64))
+        self._shms = [shm_ip, shm_ix, shm_co]
+        self._colors_view = colors_view
+
+        names = [s.name for s in self._shms]
+        self._conns = []
+        self._procs = []
+        try:
+            for rank in range(nranks):
+                parent, child = ctx.Pipe()
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(child, rank, nranks, strategy, names, graph.n, len(indices)),
+                    daemon=True,
+                )
+                proc.start()
+                child.close()
+                self._conns.append(parent)
+                self._procs.append(proc)
+        except Exception:
+            _release(self._procs, self._conns, self._shms)
+            raise
+        self._plan_keys: Dict[int, int] = {}
+        self._plans: List[Plan] = []
+        self._finalizer = weakref.finalize(
+            self, _release, self._procs, self._conns, self._shms
+        )
+
+    # ------------------------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return not self._finalizer.alive
+
+    def close(self) -> None:
+        """Stop the workers and unlink the shared-memory segments."""
+        self._finalizer()
+
+    def __enter__(self) -> "ShardedExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _broadcast(self, msg: tuple) -> None:
+        try:
+            for conn in self._conns:
+                conn.send(msg)
+        except OSError:
+            # a worker died while the pool was idle (e.g. OOM-killed):
+            # close so engine-level caches replace this executor
+            self.close()
+            raise RuntimeError("ps-dist worker died; executor closed") from None
+
+    def _register_plan(self, plan: Plan) -> int:
+        key = self._plan_keys.get(id(plan))
+        if key is None:
+            key = len(self._plans)
+            self._plan_keys[id(plan)] = key
+            self._plans.append(plan)  # pin: id() keys must not be recycled
+            self._broadcast(("plan", key, plan))
+        return key
+
+    def _gather(self, stats: WallStats, stage: str) -> List[tuple]:
+        rec = stats.new_stage(stage)
+        shards: List[tuple] = [None] * self.nranks  # type: ignore[list-item]
+        error: Optional[BaseException] = None
+        for rank, conn in enumerate(self._conns):
+            try:
+                msg = conn.recv()
+            except (EOFError, OSError):
+                self.close()
+                raise RuntimeError(f"ps-dist worker {rank} died mid-run") from None
+            if msg[0] == "error":
+                error = error or msg[1]
+                continue
+            _, _, payload, cpu, wall = msg
+            rec.cpu[rank] = cpu
+            rec.wall[rank] = wall
+            rec.rows[rank] = _payload_rows(payload)
+            shards[rank] = payload
+        if error is not None:
+            # workers are already idle again (they answer one message at a
+            # time); the next count() starts a fresh trial
+            raise error
+        return shards
+
+    # ------------------------------------------------------------------
+    def count(
+        self,
+        plan: Plan,
+        colors: Sequence[int],
+        num_colors: Optional[int] = None,
+    ) -> ShardResult:
+        """Count colorful matches of ``plan.query`` under one coloring.
+
+        Bit-identical to :func:`solve_plan_vectorized` on the same plan
+        and coloring; also returns the measured per-rank
+        :class:`WallStats` for the run.
+        """
+        if self.closed:
+            raise RuntimeError("executor is closed")
+        colors = np.asarray(colors, dtype=np.int64)
+        k = plan.query.k
+        kc = num_colors if num_colors is not None else k
+        if kc < k:
+            raise ValueError(f"need at least k={k} colors, got num_colors={kc}")
+        if kc > MAX_COLORS_VEC:
+            raise ValueError(
+                f"ps-dist packs signatures in int64; num_colors <= {MAX_COLORS_VEC}"
+            )
+        if len(colors) != self.graph.n:
+            raise ValueError("coloring must assign a color to every data vertex")
+        if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
+            raise ValueError(f"colors must lie in [0, {kc})")
+
+        stats = WallStats(self.nranks)
+        t0 = time.perf_counter()
+        root = plan.root
+        if root.kind == LEAF:  # pragma: no cover - planner never roots a leaf
+            raise ValueError("plan root must be a cycle or singleton block")
+        if root.kind == SINGLETON and not root.node_ann:
+            stats.wall_seconds = time.perf_counter() - t0
+            return ShardResult(self.graph.n, stats)
+
+        key = self._register_plan(plan)
+        self._colors_view[:] = colors
+        self._broadcast(("trial", key, k))
+
+        blocks = plan.blocks()
+        stages = blocks[:-1] if root.kind == SINGLETON else blocks
+        last_combined: object = None
+        for idx, block in enumerate(stages):
+            self._broadcast(("block", idx))
+            shards = self._gather(stats, f"b{idx}:{block.kind}")
+            last_combined = _combine_shards(shards)
+            if idx < len(stages) - 1:
+                # publish the combined child table for the parents' joins;
+                # the final stage's result is consumed only by the master
+                self._broadcast(("table", idx, _pack(last_combined)))
+        if root.kind == SINGLETON:
+            # bottom-up block order puts the root's only child last
+            (child,) = root.node_ann.values()
+            assert stages[-1] is child, "plan block order violated"
+            count = last_combined.total()
+        else:
+            count = last_combined  # 0-boundary root cycle: scalar partials
+        stats.wall_seconds = time.perf_counter() - t0
+        return ShardResult(int(count), stats)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "closed" if self.closed else "open"
+        return (
+            f"ShardedExecutor(n={self.graph.n}, workers={self.nranks}, "
+            f"strategy={self.strategy!r}, {state})"
+        )
+
+
+def count_colorful_ps_dist(
+    g: Graph,
+    query: QueryGraph,
+    colors: Sequence[int],
+    plan: Optional[Plan] = None,
+    num_colors: Optional[int] = None,
+    workers: Optional[int] = None,
+    strategy: str = "block",
+    executor: Optional[ShardedExecutor] = None,
+) -> int:
+    """Colorful matches of ``query`` in ``g`` via the sharded executor.
+
+    Pass a long-lived ``executor`` to amortise worker startup across
+    trials (the engine does); otherwise a transient pool is spun up for
+    this one call and torn down after.
+    """
+    plan = plan if plan is not None else heuristic_plan(query)
+    if executor is not None:
+        if executor.graph is not g:
+            raise ValueError("executor is bound to a different data graph")
+        return executor.count(plan, colors, num_colors=num_colors).count
+    with ShardedExecutor(g, workers=workers, strategy=strategy) as ex:
+        return ex.count(plan, colors, num_colors=num_colors).count
