@@ -39,6 +39,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-count=repro.cli:main",
+            "repro-serve=repro.service.cli:main",
         ]
     },
     classifiers=[

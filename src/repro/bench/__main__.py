@@ -1,8 +1,9 @@
-"""``python -m repro.bench`` — perf-smoke / strong-scaling runner, CI gates.
+"""``python -m repro.bench`` — perf/scaling/service runner, CI gates.
 
 Default: the perf-smoke grid with the baseline regression gate.  With
-``--scaling``: the real ``ps-dist`` strong-scaling sweep (one shared
-entry point for CI's scaling-smoke job and local runs).
+``--scaling``: the real ``ps-dist`` strong-scaling sweep.  With
+``--serve-smoke``: the counting-service throughput/latency bench (one
+shared entry point for CI's smoke jobs and local runs).
 """
 
 import sys

@@ -18,8 +18,12 @@ performance changes.
 ``ps-dist`` executor over the scaling grid at ``--workers`` shard counts
 (default 1,2,4), emitting ``BENCH_scaling.json`` and — with
 ``--assert-speedup X`` — failing unless the geomean measured speedup at
-the largest worker count reaches ``X``.  Every bench coloring is seeded
-from ``EngineConfig.seed`` (override with ``--seed``), so runs are
+the largest worker count reaches ``X``.  ``--serve-smoke`` switches to
+the **service** bench (:mod:`repro.bench.serve`): boot the counting
+service in-process, measure cold vs cached request latency, emit
+``BENCH_serve.json`` and — with ``--assert-qps X`` — fail below a
+cached-path throughput floor.  Every bench coloring is seeded from
+``EngineConfig.seed`` (override with ``--seed``), so runs are
 deterministic under CI.
 """
 
@@ -558,10 +562,45 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="with --scaling: exit 1 unless the geomean measured speedup at "
         "the largest worker count is >= X (critical-path metric)",
     )
+    parser.add_argument(
+        "--serve-smoke", action="store_true",
+        help="run the counting-service throughput bench instead of perf-smoke",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=1.0,
+        help="with --serve-smoke: seconds per cached-path timing loop "
+        "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--assert-qps", type=float, default=None, metavar="X",
+        help="with --serve-smoke: exit 1 unless the geomean cached-path "
+        "HTTP throughput is >= X requests/second",
+    )
     args = parser.parse_args(argv)
     if args.update_baseline and not args.baseline:
         parser.error("--update-baseline requires --baseline PATH")
     config = EngineConfig(seed=args.seed)
+
+    if args.serve_smoke:
+        from .serve import run_serve_smoke
+
+        doc = run_serve_smoke(duration=args.duration, config=config)
+        print_table(
+            doc["records"],
+            columns=["key", "seconds", "qps", "requests", "count"],
+            title="service smoke (cold / cached-http / cached-local)",
+        )
+        print(f"[cache: {doc['cache']}]")
+        print(f"[geomean cached-path throughput: {doc['cached_qps']:.0f} req/s]")
+        if args.emit_json:
+            meta = {k: v for k, v in doc.items() if k != "records"}
+            path = write_bench_json(args.emit_json, doc["records"], **meta)
+            print(f"[bench json written to {path}]")
+        if args.assert_qps is not None and doc["cached_qps"] < args.assert_qps:
+            print(f"FAIL: cached-path throughput {doc['cached_qps']:.0f} req/s "
+                  f"< required {args.assert_qps:g} req/s")
+            return 1
+        return 0
 
     if args.scaling:
         workers = [int(w) for w in str(args.workers).split(",") if w.strip()]

@@ -1,0 +1,158 @@
+"""Service throughput/latency bench: the ``--serve-smoke`` CI gate.
+
+Boots a full :class:`~repro.service.CountingService` + HTTP server
+in-process on an ephemeral port and drives it with the stdlib client the
+way a deployment would be driven:
+
+* one **cold** ``POST /count`` per grid cell (uncached engine latency);
+* a timed **cached** loop over HTTP (the QPS figure the CI gate asserts
+  a floor for — this path is a fingerprint hash, an LRU hit and one JSON
+  round trip, no counting);
+* the same cached loop in-process (no HTTP) to show the protocol cost;
+* one async submit/poll cycle per cell.
+
+Counts are asserted bit-identical to a direct
+:meth:`CountingEngine.count` with the same parameters.  Emits
+``BENCH_serve.json``-shaped records via the shared harness helpers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional
+
+from ..engine import CountingEngine, EngineConfig
+from .datasets import dataset
+from .harness import bench_record, geometric_mean
+
+__all__ = ["SERVE_GRID", "run_serve_smoke"]
+
+#: (dataset, query) cells the serve bench drives (small enough for CI,
+#: two datasets so the registry/cache layers see real key diversity)
+SERVE_GRID = (
+    ("condmat", "glet1"),
+    ("condmat", "wiki"),
+    ("enron", "youtube"),
+)
+
+#: trials per request — tiny: the serve bench measures the service
+#: layers, the kernels have their own perf gate
+SERVE_TRIALS = 2
+
+
+def run_serve_smoke(
+    duration: float = 1.0,
+    config: Optional[EngineConfig] = None,
+    workers: int = 2,
+    queue_depth: int = 16,
+    cache_size: int = 64,
+) -> Dict[str, object]:
+    """Boot, drive, and measure the service; returns a JSON-ready doc.
+
+    ``duration`` is the wall-clock budget of each cached-path timing
+    loop.  The headline figure is ``cached_qps`` — the geomean over the
+    grid of HTTP cached-path requests per second — plus per-cell records
+    for cold latency, cached HTTP latency, and cached in-process latency.
+    """
+    from ..query.library import paper_query
+    from ..service import CountingService
+    from ..service.client import ServiceClient
+    from ..service.httpd import make_server, serve_forever
+
+    cfg = config if config is not None else EngineConfig()
+    service = CountingService(
+        config=cfg, workers=workers, queue_depth=queue_depth, cache_size=cache_size
+    )
+    records: List[Dict[str, object]] = []
+    qps_values: List[float] = []
+    try:
+        for gname, _q in SERVE_GRID:
+            if gname not in service.registry:
+                service.registry.load(gname)
+        server = make_server(service, port=0)
+        thread = serve_forever(server)
+        try:
+            with ServiceClient(server.url) as client:
+                assert client.healthz()["ok"]
+                for gname, qname in SERVE_GRID:
+                    params = dict(trials=SERVE_TRIALS, seed=cfg.seed)
+                    # cold: full engine execution through queue + HTTP
+                    t0 = time.perf_counter()
+                    result, cached = client.count(gname, qname, **params)
+                    cold = time.perf_counter() - t0
+                    if cached:  # pragma: no cover - fresh service per run
+                        raise AssertionError(f"first request of {gname}/{qname} hit the cache")
+
+                    # parity: bit-identical to a direct engine call
+                    with CountingEngine(dataset(gname), cfg) as engine:
+                        direct = engine.count(paper_query(qname), **params)
+                    if result["colorful_counts"] != direct.colorful_counts:
+                        raise AssertionError(
+                            f"service diverged from engine on {gname}/{qname}: "
+                            f"{result['colorful_counts']} != {direct.colorful_counts}"
+                        )
+
+                    # cached over HTTP: the headline QPS loop
+                    reqs, deadline = 0, time.monotonic() + duration
+                    t0 = time.perf_counter()
+                    while time.monotonic() < deadline:
+                        _, cached = client.count(gname, qname, **params)
+                        assert cached, "cached loop fell out of the cache"
+                        reqs += 1
+                    http_elapsed = time.perf_counter() - t0
+                    http_qps = reqs / http_elapsed if http_elapsed > 0 else 0.0
+
+                    # cached in-process: same path minus HTTP/JSON
+                    calls, deadline = 0, time.monotonic() + min(duration, 0.5)
+                    t0 = time.perf_counter()
+                    while time.monotonic() < deadline:
+                        _, cached = service.count(gname, qname, **params)
+                        assert cached, "cached local loop fell out of the cache"
+                        calls += 1
+                    local_elapsed = time.perf_counter() - t0
+                    local_qps = calls / local_elapsed if local_elapsed > 0 else 0.0
+
+                    # async submit/poll once (protocol exercised, not timed)
+                    job = client.submit(gname, qname, **params)
+                    done = client.wait(job["id"], timeout=60.0)
+                    if done["state"] != "done":  # pragma: no cover - smoke guard
+                        raise AssertionError(f"async job failed: {done.get('error')}")
+
+                    count = int(sum(result["colorful_counts"]))
+                    records.append(bench_record(
+                        "serve", gname, qname, "cold-http", cold, count=count))
+                    records.append(bench_record(
+                        "serve", gname, qname, "cached-http",
+                        http_elapsed / max(reqs, 1), count=count,
+                        qps=http_qps, requests=reqs))
+                    records.append(bench_record(
+                        "serve", gname, qname, "cached-local",
+                        local_elapsed / max(calls, 1), count=count,
+                        qps=local_qps, requests=calls))
+                    qps_values.append(http_qps)
+            stats = service.stats()
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+    finally:
+        service.close()
+
+    cache = stats["cache"]
+    expected_hits = sum(
+        int(r["requests"]) for r in records if r["method"] == "cached-http"
+    ) + sum(int(r["requests"]) for r in records if r["method"] == "cached-local")
+    if cache["hits"] < expected_hits:  # pragma: no cover - accounting guard
+        raise AssertionError(
+            f"cache hit counter lost events: {cache['hits']} < {expected_hits}"
+        )
+    return {
+        "grid": [f"{g}/{q}" for g, q in SERVE_GRID],
+        "trials": SERVE_TRIALS,
+        "seed": cfg.seed,
+        "duration": duration,
+        "cached_qps": geometric_mean(qps_values),
+        "cache": cache,
+        "queue": stats["queue"],
+        "records": records,
+    }

@@ -9,7 +9,8 @@ Subcommands
 ``trace``      superstep trace of a simulated distributed run;
 ``report``     aggregate saved benchmark tables into one document;
 ``datasets``   list the Table 1 stand-in graphs with their statistics;
-``queries``    list the Figure 8 query library.
+``queries``    list the Figure 8 query library;
+``serve``      boot the JSON/HTTP counting service (also ``repro-serve``).
 """
 
 from __future__ import annotations
@@ -132,6 +133,48 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
+    """Install the ``repro-serve`` flag set (shared by the standalone
+    entry point and the ``serve`` subcommand; pure argparse so building
+    the parser never imports the service/HTTP stack)."""
+    parser.add_argument(
+        "--dataset", action="append", default=None, metavar="SPEC", dest="datasets",
+        help="dataset to register: builtin name, file path, or alias=path "
+        "(repeatable; default: condmat)",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address (default: %(default)s)")
+    parser.add_argument("--port", type=int, default=8321,
+                        help="bind port; 0 picks an ephemeral one (default: %(default)s)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="job-queue worker threads (default: %(default)s)")
+    parser.add_argument("--queue-depth", type=int, default=32,
+                        help="admission bound: queued jobs before 429 (default: %(default)s)")
+    parser.add_argument("--cache-size", type=int, default=256,
+                        help="result-cache entries, 0 disables (default: %(default)s)")
+    parser.add_argument(
+        "--method", choices=tuple(available_backends()) + ("auto",), default="db",
+        help="default counting backend for requests that omit one (default: %(default)s)",
+    )
+    parser.add_argument("--trials", type=int, default=10,
+                        help="default trials per request (default: %(default)s)")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="default root seed (default: %(default)s)")
+    parser.add_argument(
+        "--engine-workers", type=int, default=1, metavar="N",
+        help="EngineConfig.workers: trial fan-out processes, or the shard "
+        "pool size with --method ps-dist (default: %(default)s)",
+    )
+    parser.add_argument("--partition", choices=("block", "cyclic", "hash"), default="block",
+                        help="vertex partition strategy for ps-dist shards (default: %(default)s)")
+    parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from .service.cli import run_serve
+
+    return run_serve(args)
+
+
 def _cmd_datasets(_args: argparse.Namespace) -> int:
     for name in dataset_names():
         print(graph_summary(dataset(name)))
@@ -209,6 +252,10 @@ def build_parser() -> argparse.ArgumentParser:
     p_rep = sub.add_parser("report", help="aggregate saved benchmark tables")
     p_rep.add_argument("--results-dir", default=None)
     p_rep.set_defaults(func=_cmd_report)
+
+    p_srv = sub.add_parser("serve", help="boot the JSON/HTTP counting service")
+    add_serve_arguments(p_srv)
+    p_srv.set_defaults(func=_cmd_serve)
 
     p_ds = sub.add_parser("datasets", help="list dataset stand-ins")
     p_ds.set_defaults(func=_cmd_datasets)

@@ -36,6 +36,7 @@ from __future__ import annotations
 
 import multiprocessing as mp
 import os
+import threading
 import time
 import weakref
 from multiprocessing import shared_memory
@@ -356,6 +357,13 @@ class ShardedExecutor:
             raise
         self._plan_keys: Dict[int, int] = {}
         self._plans: List[Plan] = []
+        # one trial owns the pipes end-to-end; concurrent count() calls
+        # (service job workers sharing a pooled executor) take turns
+        # rather than interleaving the superstep message rounds.  close()
+        # takes it too, so teardown waits for the run in flight; reentrant
+        # because a mid-run worker failure closes from inside count()
+        self._run_lock = threading.RLock()
+        self._runs = 0
         self._finalizer = weakref.finalize(
             self, _release, self._procs, self._conns, self._shms
         )
@@ -366,8 +374,13 @@ class ShardedExecutor:
         return not self._finalizer.alive
 
     def close(self) -> None:
-        """Stop the workers and unlink the shared-memory segments."""
-        self._finalizer()
+        """Stop the workers and unlink the shared-memory segments.
+
+        Waits for any run in flight on another thread — pipes and shared
+        memory are never torn down under a live superstep.
+        """
+        with self._run_lock:
+            self._finalizer()
 
     def __enter__(self) -> "ShardedExecutor":
         return self
@@ -448,39 +461,53 @@ class ShardedExecutor:
         if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
             raise ValueError(f"colors must lie in [0, {kc})")
 
-        stats = WallStats(self.nranks)
-        t0 = time.perf_counter()
-        root = plan.root
-        if root.kind == LEAF:  # pragma: no cover - planner never roots a leaf
-            raise ValueError("plan root must be a cycle or singleton block")
-        if root.kind == SINGLETON and not root.node_ann:
+        with self._run_lock:
+            stats = WallStats(self.nranks)
+            t0 = time.perf_counter()
+            root = plan.root
+            if root.kind == LEAF:  # pragma: no cover - planner never roots a leaf
+                raise ValueError("plan root must be a cycle or singleton block")
+            if root.kind == SINGLETON and not root.node_ann:
+                stats.wall_seconds = time.perf_counter() - t0
+                self._runs += 1
+                return ShardResult(self.graph.n, stats)
+
+            key = self._register_plan(plan)
+            self._colors_view[:] = colors
+            self._broadcast(("trial", key, k))
+
+            blocks = plan.blocks()
+            stages = blocks[:-1] if root.kind == SINGLETON else blocks
+            last_combined: object = None
+            for idx, block in enumerate(stages):
+                self._broadcast(("block", idx))
+                shards = self._gather(stats, f"b{idx}:{block.kind}")
+                last_combined = _combine_shards(shards)
+                if idx < len(stages) - 1:
+                    # publish the combined child table for the parents' joins;
+                    # the final stage's result is consumed only by the master
+                    self._broadcast(("table", idx, _pack(last_combined)))
+            if root.kind == SINGLETON:
+                # bottom-up block order puts the root's only child last
+                (child,) = root.node_ann.values()
+                assert stages[-1] is child, "plan block order violated"
+                count = last_combined.total()
+            else:
+                count = last_combined  # 0-boundary root cycle: scalar partials
             stats.wall_seconds = time.perf_counter() - t0
-            return ShardResult(self.graph.n, stats)
+            self._runs += 1
+            return ShardResult(int(count), stats)
 
-        key = self._register_plan(plan)
-        self._colors_view[:] = colors
-        self._broadcast(("trial", key, k))
-
-        blocks = plan.blocks()
-        stages = blocks[:-1] if root.kind == SINGLETON else blocks
-        last_combined: object = None
-        for idx, block in enumerate(stages):
-            self._broadcast(("block", idx))
-            shards = self._gather(stats, f"b{idx}:{block.kind}")
-            last_combined = _combine_shards(shards)
-            if idx < len(stages) - 1:
-                # publish the combined child table for the parents' joins;
-                # the final stage's result is consumed only by the master
-                self._broadcast(("table", idx, _pack(last_combined)))
-        if root.kind == SINGLETON:
-            # bottom-up block order puts the root's only child last
-            (child,) = root.node_ann.values()
-            assert stages[-1] is child, "plan block order violated"
-            count = last_combined.total()
-        else:
-            count = last_combined  # 0-boundary root cycle: scalar partials
-        stats.wall_seconds = time.perf_counter() - t0
-        return ShardResult(int(count), stats)
+    def describe(self) -> Dict[str, object]:
+        """JSON-safe snapshot of this pool (surfaced by the service's
+        ``/stats`` endpoint)."""
+        return {
+            "workers": self.nranks,
+            "strategy": self.strategy,
+            "closed": self.closed,
+            "plans_registered": len(self._plans),
+            "runs": self._runs,
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         state = "closed" if self.closed else "open"

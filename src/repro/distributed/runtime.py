@@ -124,6 +124,30 @@ class LoadStats:
         avg = self.avg_load()
         return self.max_load() / avg if avg > 0 else 1.0
 
+    def to_dict(self) -> dict:
+        """JSON-safe rendering: per-stage per-rank ops/msgs as plain lists."""
+        return {
+            "nranks": self.nranks,
+            "stages": [
+                {
+                    "name": s.name,
+                    "ops": [float(x) for x in s.ops],
+                    "msgs": [float(x) for x in s.msgs],
+                }
+                for s in self.stages
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "LoadStats":
+        """Rebuild the exact accounting from :meth:`to_dict` output."""
+        out = cls(int(doc["nranks"]))
+        for stage in doc.get("stages", ()):
+            rec = out.new_stage(str(stage["name"]))
+            rec.ops += np.asarray(stage["ops"], dtype=np.float64)
+            rec.msgs += np.asarray(stage["msgs"], dtype=np.float64)
+        return out
+
     def coarsen(self, factor: int) -> "LoadStats":
         """Merge groups of ``factor`` adjacent ranks into one.
 
@@ -217,6 +241,34 @@ class WallStats:
         """Measured strong-scaling speedup vs a (usually 1-rank) baseline."""
         crit = self.critical_seconds()
         return baseline.critical_seconds() / crit if crit > 0 else 1.0
+
+    def to_dict(self) -> dict:
+        """JSON-safe rendering (per-stage per-rank cpu/wall/rows lists)."""
+        return {
+            "nranks": self.nranks,
+            "wall_seconds": float(self.wall_seconds),
+            "stages": [
+                {
+                    "name": s.name,
+                    "cpu": [float(x) for x in s.cpu],
+                    "wall": [float(x) for x in s.wall],
+                    "rows": [int(x) for x in s.rows],
+                }
+                for s in self.stages
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "WallStats":
+        """Rebuild measured stats from :meth:`to_dict` output."""
+        out = cls(int(doc["nranks"]))
+        out.wall_seconds = float(doc.get("wall_seconds", 0.0))
+        for stage in doc.get("stages", ()):
+            rec = out.new_stage(str(stage["name"]))
+            rec.cpu += np.asarray(stage["cpu"], dtype=np.float64)
+            rec.wall += np.asarray(stage["wall"], dtype=np.float64)
+            rec.rows += np.asarray(stage["rows"], dtype=np.int64)
+        return out
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -40,7 +40,8 @@ from .backends import (
 )
 from .config import CountRequest, EngineConfig
 from .engine import CountingEngine, EngineStats
-from .result import RunResult
+from .fingerprint import canonical_query, canonical_request, request_fingerprint
+from .result import RunResult, plan_summary
 
 __all__ = [
     "CountingEngine",
@@ -48,6 +49,10 @@ __all__ = [
     "EngineConfig",
     "CountRequest",
     "RunResult",
+    "plan_summary",
+    "canonical_query",
+    "canonical_request",
+    "request_fingerprint",
     "CountingBackend",
     "BackendRegistry",
     "register_backend",

@@ -25,9 +25,12 @@ with :meth:`CountingEngine.close` or an engine ``with`` block).
 
 from __future__ import annotations
 
+import atexit
 import multiprocessing as mp
+import threading
 import time
 import warnings
+import weakref
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -96,6 +99,24 @@ def _run_trial(colors) -> int:  # pragma: no cover - runs in subprocess
     )
 
 
+# ----------------------------------------------------------------------
+# engine lifecycle: every live engine is closed at interpreter exit, so
+# pooled shard workers (and their shared-memory segments) never outlive a
+# clean shutdown — long-lived holders like repro.service rely on this as
+# the safety net behind their explicit close()/signal handling
+# ----------------------------------------------------------------------
+_LIVE_ENGINES: "weakref.WeakSet[CountingEngine]" = weakref.WeakSet()
+
+
+@atexit.register
+def _close_live_engines() -> None:  # pragma: no cover - interpreter teardown
+    for engine in list(_LIVE_ENGINES):
+        try:
+            engine.close()
+        except Exception:
+            pass
+
+
 class CountingEngine:
     """Counting session bound to one data graph.
 
@@ -126,6 +147,15 @@ class CountingEngine:
         self._plan_cache: Dict[QueryGraph, Plan] = {}
         self._partition_cache: Dict[Tuple[int, str], Partition] = {}
         self._executor_cache: Dict[Tuple[int, str], "ShardedExecutor"] = {}
+        # engines are shared across threads (the service's job workers):
+        # _cache_lock guards the plan/partition caches and the stats
+        # counters (so "planned exactly once per engine" and the exact
+        # counter invariants hold under concurrency), _executor_lock the
+        # executor pool map; counting itself is reentrant, and each
+        # ShardedExecutor serializes its own runs
+        self._cache_lock = threading.Lock()
+        self._executor_lock = threading.Lock()
+        _LIVE_ENGINES.add(self)
 
     # ------------------------------------------------------------------
     # caches
@@ -136,27 +166,37 @@ class CountingEngine:
         return plan
 
     def _plan_for(self, query: QueryGraph) -> Tuple[Plan, bool]:
-        plan = self._plan_cache.get(query)
-        if plan is not None:
-            self.stats.plan_cache_hits += 1
-            return plan, True
-        plan = heuristic_plan(query, limit=self.config.plan_limit)
-        self.stats.plan_builds += 1
-        self._plan_cache[query] = plan
-        return plan, False
+        with self._cache_lock:
+            plan = self._plan_cache.get(query)
+            if plan is not None:
+                self.stats.plan_cache_hits += 1
+                return plan, True
+        # build outside the lock so a slow planner run never stalls
+        # other queries' cache hits; on a lost race the winner's plan is
+        # used and only the insert counts as a build (exact counters)
+        built = heuristic_plan(query, limit=self.config.plan_limit)
+        with self._cache_lock:
+            plan = self._plan_cache.get(query)
+            if plan is not None:
+                self.stats.plan_cache_hits += 1
+                return plan, True
+            self.stats.plan_builds += 1
+            self._plan_cache[query] = built
+            return built, False
 
     def partition_for(self, nranks: int, strategy: Optional[str] = None) -> Partition:
         """The cached vertex partition for ``(nranks, strategy)``."""
         strategy = strategy or self.config.partition_strategy
         key = (nranks, strategy)
-        part = self._partition_cache.get(key)
-        if part is not None:
-            self.stats.partition_cache_hits += 1
+        with self._cache_lock:
+            part = self._partition_cache.get(key)
+            if part is not None:
+                self.stats.partition_cache_hits += 1
+                return part
+            part = make_partition(self.graph.n, nranks, strategy)
+            self.stats.partition_builds += 1
+            self._partition_cache[key] = part
             return part
-        part = make_partition(self.graph.n, nranks, strategy)
-        self.stats.partition_builds += 1
-        self._partition_cache[key] = part
-        return part
 
     def make_context(self, nranks: Optional[int] = None, track: bool = True) -> ExecutionContext:
         """Fresh execution context over the cached partition."""
@@ -175,17 +215,35 @@ class CountingEngine:
 
         strategy = strategy or self.config.partition_strategy
         key = (workers, strategy)
-        executor = self._executor_cache.get(key)
-        if executor is None or executor.closed:
-            executor = ShardedExecutor(self.graph, workers=workers, strategy=strategy)
-            self._executor_cache[key] = executor
-        return executor
+        with self._executor_lock:
+            executor = self._executor_cache.get(key)
+            if executor is None or executor.closed:
+                executor = ShardedExecutor(self.graph, workers=workers, strategy=strategy)
+                self._executor_cache[key] = executor
+            return executor
+
+    def executors(self) -> List["ShardedExecutor"]:
+        """Snapshot of the live pooled executors (thread-safe)."""
+        with self._executor_lock:
+            return list(self._executor_cache.values())
 
     def close(self) -> None:
-        """Stop any live shard-worker pools (idempotent)."""
-        for executor in self._executor_cache.values():
-            executor.close()
-        self._executor_cache.clear()
+        """Stop any live shard-worker pools.
+
+        Idempotent and safe to call from teardown paths (``with`` exit,
+        ``atexit``, signal handlers): repeated calls are no-ops, a
+        failing pool never blocks the rest from closing, and the engine
+        stays usable — the next distributed request simply starts a
+        fresh pool.
+        """
+        with self._executor_lock:
+            executors = list(self._executor_cache.values())
+            self._executor_cache.clear()
+        for executor in executors:
+            try:
+                executor.close()
+            except Exception:  # pragma: no cover - teardown must not raise
+                pass
 
     def __enter__(self) -> "CountingEngine":
         return self
@@ -196,8 +254,9 @@ class CountingEngine:
     def clear_caches(self) -> None:
         """Drop cached plans/partitions and stop pooled executors
         (counters are kept)."""
-        self._plan_cache.clear()
-        self._partition_cache.clear()
+        with self._cache_lock:
+            self._plan_cache.clear()
+            self._partition_cache.clear()
         self.close()
 
     # ------------------------------------------------------------------
@@ -351,8 +410,9 @@ class CountingEngine:
                 trial_times.append(time.perf_counter() - t1)
         wall = time.perf_counter() - t0
 
-        self.stats.requests += 1
-        self.stats.trials += r.trials
+        with self._cache_lock:
+            self.stats.requests += 1
+            self.stats.trials += r.trials
         return RunResult(
             query_name=q.name,
             graph_name=self.graph.name,

@@ -1,0 +1,101 @@
+"""Stable request fingerprints: the service's cache / dedup key.
+
+A counting request is fully determined by ``(dataset, query structure,
+resolved execution parameters)`` — same fingerprint, bit-identical
+:class:`~repro.engine.result.RunResult` payload (the engine draws every
+coloring deterministically from the seed).  :func:`request_fingerprint`
+hashes a canonical JSON rendering of exactly those inputs, so the
+fingerprint is stable across processes, Python versions and dict
+orderings — unlike ``hash()``, which is salted per interpreter.
+
+The canonical forms are plain JSON-safe dicts (useful on their own for
+logging/replay); the fingerprint is the SHA-256 of their sorted-key JSON
+encoding.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Dict, Optional
+
+from ..query.query import QueryGraph
+from .config import CountRequest, EngineConfig
+
+__all__ = ["canonical_query", "canonical_request", "request_fingerprint"]
+
+
+def canonical_query(query: QueryGraph) -> Dict[str, object]:
+    """JSON-safe canonical form of a query's *structure*.
+
+    Node labels are mapped to ``0..k-1`` in the query's deterministic
+    node order (sorted by ``repr``), so two structurally identical
+    queries built with different label spellings canonicalise the same
+    way.  The name rides along: it is part of the cached
+    :class:`~repro.engine.result.RunResult` payload (``query_name``), so
+    requests that differ only in name must not share a cache entry.
+    """
+    relabeled, _ = query.relabel_to_ints()
+    edges = sorted(tuple(sorted(e)) for e in relabeled.edges())
+    return {
+        "name": query.name,
+        "k": query.k,
+        "edges": [list(e) for e in edges],
+    }
+
+
+#: resolved request fields that determine the RunResult payload
+_FINGERPRINT_FIELDS = (
+    "method",
+    "trials",
+    "seed",
+    "num_colors",
+    "workers",
+    "nranks",
+    "coloring_strategy",
+)
+
+
+def canonical_request(
+    dataset: str,
+    request: CountRequest,
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, object]:
+    """JSON-safe canonical form of one resolved counting request.
+
+    ``request`` is resolved against ``config`` (default
+    :class:`EngineConfig`) first, so a request that *inherits* ``seed=0``
+    and one that *states* ``seed=0`` canonicalise identically.  Engine
+    fields that shape the result payload beyond the request itself
+    (partition strategy for distributed shards, the ``kappa`` cost model
+    constant) come from the config.
+    """
+    cfg = config if config is not None else EngineConfig()
+    resolved = request.resolved(cfg)
+    doc: Dict[str, object] = {
+        "dataset": dataset,
+        "query": canonical_query(resolved.query),
+        "partition_strategy": cfg.partition_strategy,
+        "kappa": cfg.kappa,
+    }
+    for field in _FINGERPRINT_FIELDS:
+        doc[field] = getattr(resolved, field)
+    return doc
+
+
+def request_fingerprint(
+    dataset: str,
+    request: CountRequest,
+    config: Optional[EngineConfig] = None,
+) -> str:
+    """Hex SHA-256 fingerprint of one resolved counting request.
+
+    Stable across processes and runs: equal fingerprints guarantee
+    bit-identical result *payloads* — counts, provenance and the
+    ``query_name`` label alike (same dataset contents assumed) — so the
+    service's :class:`~repro.service.cache.ResultCache` and in-flight
+    dedup key on it directly.
+    """
+    doc = canonical_request(dataset, request, config)
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

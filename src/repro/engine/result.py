@@ -12,13 +12,25 @@ engine's cache), per-trial wall-clock timings, and the simulated-rank
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from ..counting.estimator import EstimateResult
 from ..decomposition.tree import Plan
 from ..distributed.runtime import LoadStats
 
-__all__ = ["RunResult"]
+__all__ = ["RunResult", "plan_summary"]
+
+
+def plan_summary(plan: Plan) -> Dict[str, object]:
+    """JSON-safe digest of a decomposition plan (the wire form of a
+    :class:`Plan`: enough to reason about cost, no block objects)."""
+    return {
+        "blocks": len(plan.blocks()),
+        "longest_cycle": plan.longest_cycle(),
+        "boundary_nodes": plan.total_boundary_nodes(),
+        "annotations": plan.total_annotations(),
+        "cycle_annotations": plan.cycle_annotations(),
+    }
 
 
 @dataclass
@@ -42,6 +54,9 @@ class RunResult(EstimateResult):
     wall_clock: float = 0.0
     load: Optional[LoadStats] = None
     kappa: float = 0.5
+    #: plan digest carried by deserialized results (``plan`` itself does
+    #: not survive the wire; see :meth:`to_dict` / :meth:`from_dict`)
+    plan_digest: Optional[Dict[str, object]] = None
 
     @property
     def time_per_trial(self) -> float:
@@ -58,6 +73,81 @@ class RunResult(EstimateResult):
     def speedup(self) -> float:
         """Modeled speedup over one rank (simulated runs only)."""
         return self.load.speedup(self.kappa) if self.load is not None else 1.0
+
+    # ------------------------------------------------------------------
+    # deterministic serialization (the service's wire format)
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe dict rendering of this result.
+
+        Deterministic for a given result: stable keys, plain
+        lists/scalars only.  The decomposition plan is reduced to its
+        :func:`plan_summary` digest and :class:`LoadStats` to its own
+        ``to_dict`` form; derived statistics (``estimate``,
+        ``relative_std``, ``coefficient_of_variation``) are included for
+        consumers that never reconstruct the object.  Round trip:
+        ``RunResult.from_dict(r.to_dict())`` preserves every stored field
+        (with ``plan`` flattened to ``plan_digest``), and serializing
+        again yields an identical dict.
+        """
+        digest = self.plan_digest
+        if digest is None and self.plan is not None:
+            digest = plan_summary(self.plan)
+        return {
+            "query_name": self.query_name,
+            "graph_name": self.graph_name,
+            "trials": self.trials,
+            "colorful_counts": [int(c) for c in self.colorful_counts],
+            "scale": float(self.scale),
+            "method": self.method,
+            "seed": self.seed,
+            "num_colors": self.num_colors,
+            "workers": self.workers,
+            "plan": dict(digest) if digest is not None else None,
+            "plan_cached": bool(self.plan_cached),
+            "trial_times": (
+                [float(t) for t in self.trial_times]
+                if self.trial_times is not None else None
+            ),
+            "wall_clock": float(self.wall_clock),
+            "load": self.load.to_dict() if self.load is not None else None,
+            "kappa": float(self.kappa),
+            # derived, for dashboards/JSON consumers (ignored by from_dict)
+            "estimate": float(self.estimate),
+            "relative_std": float(self.relative_std),
+            "coefficient_of_variation": float(self.coefficient_of_variation),
+        }
+
+    @classmethod
+    def from_dict(cls, doc: Dict[str, object]) -> "RunResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The plan digest round-trips via ``plan_digest`` (the full
+        :class:`Plan` object does not cross the wire); an attached
+        :class:`LoadStats` is reconstructed exactly.
+        """
+        load_doc = doc.get("load")
+        return cls(
+            query_name=str(doc["query_name"]),
+            graph_name=str(doc["graph_name"]),
+            trials=int(doc["trials"]),
+            colorful_counts=[int(c) for c in doc["colorful_counts"]],
+            scale=float(doc["scale"]),
+            method=str(doc.get("method", "")),
+            seed=int(doc.get("seed", 0)),
+            num_colors=int(doc.get("num_colors", 0)),
+            workers=int(doc.get("workers", 1)),
+            plan=None,
+            plan_cached=bool(doc.get("plan_cached", False)),
+            trial_times=(
+                [float(t) for t in doc["trial_times"]]
+                if doc.get("trial_times") is not None else None
+            ),
+            wall_clock=float(doc.get("wall_clock", 0.0)),
+            load=LoadStats.from_dict(load_doc) if load_doc is not None else None,
+            kappa=float(doc.get("kappa", 0.5)),
+            plan_digest=dict(doc["plan"]) if doc.get("plan") is not None else None,
+        )
 
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI)."""

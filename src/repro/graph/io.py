@@ -1,13 +1,37 @@
-"""Edge-list I/O for data graphs (SNAP-style text format)."""
+"""Edge-list and JSON I/O for data graphs (SNAP-style text format)."""
 
 from __future__ import annotations
 
+import json
 import os
 from typing import List, Tuple
 
 from .graph import Graph
 
-__all__ = ["write_edge_list", "read_edge_list"]
+__all__ = [
+    "write_edge_list",
+    "read_edge_list",
+    "write_json_graph",
+    "read_json_graph",
+    "load_graph_file",
+]
+
+
+def _normalize_edges(pairs: List[Tuple[int, int]]) -> Tuple[List[Tuple[int, int]], int]:
+    """Canonical simple-graph edges from raw pairs: drop self loops and
+    duplicates (either orientation); returns ``(edges, max_vertex_id)``."""
+    seen = set()
+    edges: List[Tuple[int, int]] = []
+    max_id = -1
+    for u, v in pairs:
+        max_id = max(max_id, u, v)
+        if u == v:
+            continue
+        key = (u, v) if u < v else (v, u)
+        if key not in seen:
+            seen.add(key)
+            edges.append(key)
+    return edges, max_id
 
 
 def write_edge_list(g: Graph, path: str) -> None:
@@ -42,16 +66,35 @@ def read_edge_list(path: str, name: str = "") -> Graph:
                 continue
             a, b = line.split()[:2]
             pairs.append((int(a), int(b)))
-    seen = set()
-    edges: List[Tuple[int, int]] = []
-    max_id = -1
-    for u, v in pairs:
-        max_id = max(max_id, u, v)
-        if u == v:
-            continue
-        key = (u, v) if u < v else (v, u)
-        if key not in seen:
-            seen.add(key)
-            edges.append(key)
+    edges, max_id = _normalize_edges(pairs)
     n = n_hint if n_hint >= 0 else max_id + 1
     return Graph(n, edges, name=name or os.path.basename(path))
+
+
+def write_json_graph(g: Graph, path: str) -> None:
+    """Write ``{"name", "n", "edges"}`` as JSON (the service's dataset format)."""
+    doc = {"name": g.name, "n": g.n, "edges": [[int(u), int(v)] for u, v in g.edges()]}
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh)
+        fh.write("\n")
+
+
+def read_json_graph(path: str, name: str = "") -> Graph:
+    """Read a graph written by :func:`write_json_graph`.
+
+    ``n`` is optional in the document (inferred as max id + 1); duplicate
+    edges and self loops are dropped, matching :func:`read_edge_list`.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    pairs = [(int(u), int(v)) for u, v in doc.get("edges", [])]
+    edges, max_id = _normalize_edges(pairs)
+    n = int(doc["n"]) if "n" in doc else max_id + 1
+    return Graph(n, edges, name=name or doc.get("name") or os.path.basename(path))
+
+
+def load_graph_file(path: str, name: str = "") -> Graph:
+    """Load a graph file by extension: ``.json`` JSON, anything else edge list."""
+    if path.endswith(".json"):
+        return read_json_graph(path, name=name)
+    return read_edge_list(path, name=name)

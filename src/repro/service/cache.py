@@ -1,0 +1,94 @@
+"""Keyed LRU result cache with hit/miss/eviction accounting.
+
+The service keys entries on the engine's stable
+:func:`~repro.engine.fingerprint.request_fingerprint` — equal keys
+guarantee bit-identical :class:`~repro.engine.result.RunResult` payloads,
+so a hit can be served without touching the counting stack at all
+(microseconds instead of the full DP).  The cache is thread-safe; every
+public operation takes one lock, and the counters are exact even under
+the hammer-test levels of concurrency.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+__all__ = ["ResultCache"]
+
+
+class ResultCache:
+    """Bounded thread-safe LRU mapping fingerprint → cached value.
+
+    ``capacity <= 0`` disables caching entirely (every ``get`` is a miss,
+    ``put`` is a no-op) — useful for benchmarking the uncached path
+    without restructuring the service.
+    """
+
+    def __init__(self, capacity: int = 256) -> None:
+        self.capacity = int(capacity)
+        self._entries: "OrderedDict[str, object]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> Tuple[bool, Optional[object]]:
+        """``(hit, value)`` for ``key``; a hit refreshes its LRU position."""
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._hits += 1
+                return True, self._entries[key]
+            self._misses += 1
+            return False, None
+
+    def put(self, key: str, value: object) -> None:
+        """Insert/refresh ``key``, evicting the least recently used entry
+        when over capacity."""
+        if self.capacity <= 0:
+            return
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self._entries[key] = value
+                return
+            self._entries[key] = value
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> Dict[str, int]:
+        """Exact counters + size (stable keys; the ``/stats`` payload)."""
+        with self._lock:
+            return {
+                "capacity": self.capacity,
+                "size": len(self._entries),
+                "hits": self._hits,
+                "misses": self._misses,
+                "evictions": self._evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        snap = self.snapshot()
+        return (
+            f"ResultCache(size={snap['size']}/{snap['capacity']}, "
+            f"hits={snap['hits']}, misses={snap['misses']}, "
+            f"evictions={snap['evictions']})"
+        )

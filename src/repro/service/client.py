@@ -1,0 +1,225 @@
+"""Stdlib Python client for the counting service (tests + benchmarks).
+
+:class:`ServiceClient` speaks the JSON-over-HTTP protocol of
+:mod:`repro.service.httpd` over a plain :class:`http.client.HTTPConnection`
+(one keep-alive connection per client, so cached-path latency measures
+the service, not TCP handshakes).  Errors map back to typed exceptions so
+callers can tell saturation (retry) from bad requests (don't).
+
+``python -m repro.service.client --base-url URL --self-test`` drives a
+live server through every endpoint and exits non-zero on any failure —
+CI's service-smoke job runs exactly that against a booted ``repro-serve``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+import time
+from typing import List, Optional, Tuple, Union
+from urllib.parse import urlparse
+
+__all__ = ["ServiceClient", "ServiceAPIError", "SaturatedError", "main", "self_test"]
+
+
+class ServiceAPIError(RuntimeError):
+    """Non-2xx answer from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+        self.message = message
+
+
+class SaturatedError(ServiceAPIError):
+    """HTTP 429 — the job queue shed this request; retry later."""
+
+
+class ServiceClient:
+    """One keep-alive JSON client bound to a service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 60.0) -> None:
+        parsed = urlparse(base_url if "//" in base_url else f"http://{base_url}")
+        if parsed.scheme != "http" or not parsed.hostname:
+            raise ValueError(f"need an http://host:port base url, got {base_url!r}")
+        self.host = parsed.hostname
+        self.port = parsed.port or 80
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: Optional[dict] = None) -> dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        for attempt in (0, 1):  # one silent retry over a fresh connection
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=payload, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            doc = json.loads(raw.decode("utf-8")) if raw else {}
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            doc = {"error": raw.decode("utf-8", "replace")}
+        if response.status == 429:
+            raise SaturatedError(response.status, doc.get("error", "saturated"))
+        if response.status >= 400:
+            raise ServiceAPIError(response.status, doc.get("error", "request failed"))
+        return doc
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")
+
+    def datasets(self) -> List[dict]:
+        return self._request("GET", "/datasets")["datasets"]
+
+    def count(
+        self, dataset: str, query: Union[str, dict], **params
+    ) -> Tuple[dict, bool]:
+        """Synchronous count: ``(result_dict, served_from_cache)``."""
+        body = {"dataset": dataset, "query": query, **params}
+        doc = self._request("POST", "/count", body)
+        return doc["result"], bool(doc["cached"])
+
+    def submit(self, dataset: str, query: Union[str, dict], **params) -> dict:
+        """Asynchronous count: returns the job dict to poll by ``id``."""
+        body = {"dataset": dataset, "query": query, **params}
+        return self._request("POST", "/jobs", body)["job"]
+
+    def job(self, job_id: str) -> dict:
+        return self._request("GET", f"/jobs/{job_id}")["job"]
+
+    def jobs(self) -> List[dict]:
+        return self._request("GET", "/jobs")["jobs"]
+
+    def wait(self, job_id: str, timeout: float = 60.0, interval: float = 0.05) -> dict:
+        """Poll ``GET /jobs/<id>`` until the job finishes; returns it."""
+        deadline = time.monotonic() + timeout
+        while True:
+            job = self.job(job_id)
+            if job["state"] in ("done", "failed"):
+                return job
+            if time.monotonic() >= deadline:
+                raise TimeoutError(f"job {job_id} still {job['state']} after {timeout:g}s")
+            time.sleep(interval)
+
+
+# ----------------------------------------------------------------------
+# endpoint self-test (CI's service-smoke client pass)
+# ----------------------------------------------------------------------
+
+def self_test(base_url: str, dataset: Optional[str] = None, query: str = "glet1") -> int:
+    """Drive every endpoint of a live server; 0 on success, 1 on failure.
+
+    Asserts the sync/async/cached paths agree bit for bit and that the
+    cache hit counter moves — the end-to-end smoke CI runs against a
+    freshly booted ``repro-serve``.
+    """
+    checks: List[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append(name)
+        status = "ok" if ok else "FAIL"
+        print(f"[self-test] {name:28s} {status}  {detail}")
+        if not ok:
+            raise AssertionError(f"endpoint check failed: {name} {detail}")
+
+    with ServiceClient(base_url) as client:
+        health = client.healthz()
+        check("GET /healthz", bool(health.get("ok")), f"uptime={health.get('uptime_seconds', 0):.1f}s")
+        datasets = client.datasets()
+        check("GET /datasets", len(datasets) > 0, f"{[d['name'] for d in datasets]}")
+        dataset = dataset or datasets[0]["name"]
+
+        first, cached_first = client.count(dataset, query, trials=2, seed=0)
+        check("POST /count (cold)", not cached_first and first["trials"] == 2,
+              f"estimate={first['estimate']:.6g}")
+        second, cached_second = client.count(dataset, query, trials=2, seed=0)
+        check("POST /count (cached)", cached_second
+              and second["colorful_counts"] == first["colorful_counts"],
+              "bit-identical")
+
+        job = client.submit(dataset, query, trials=2, seed=1)
+        check("POST /jobs", job["state"] in ("queued", "running", "done"), f"id={job['id']}")
+        done = client.wait(job["id"], timeout=120.0)
+        check("GET /jobs/<id>", done["state"] == "done",
+              f"progress={done['progress']}")
+        again = client.submit(dataset, query, trials=2, seed=1)
+        finished = client.wait(again["id"], timeout=120.0)
+        check("POST /jobs (cached)",
+              finished["result"]["colorful_counts"] == done["result"]["colorful_counts"],
+              "bit-identical")
+        check("GET /jobs", any(j["id"] == job["id"] for j in client.jobs()), "listed")
+
+        stats = client.stats()
+        cache = stats["cache"]
+        check("GET /stats", cache["hits"] >= 2 and cache["misses"] >= 1,
+              f"hits={cache['hits']} misses={cache['misses']}")
+
+        for bad, expect in (
+            ({"dataset": "nope", "query": query}, 404),
+            ({"dataset": dataset, "query": "nope"}, 404),
+            ({"dataset": dataset, "query": query, "trials": 0}, 400),
+        ):
+            try:
+                client.count(**bad)
+            except ServiceAPIError as exc:
+                check(f"error path {expect}", exc.status == expect, f"got {exc.status}")
+            else:
+                check(f"error path {expect}", False, "no error raised")
+
+    print(f"[self-test] all {len(checks)} endpoint checks passed")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.service.client",
+        description="Python client for the repro counting service",
+    )
+    parser.add_argument("--base-url", required=True, help="e.g. http://127.0.0.1:8321")
+    parser.add_argument("--self-test", action="store_true",
+                        help="drive every endpoint, exit non-zero on failure")
+    parser.add_argument("--dataset", default=None, help="dataset for --self-test")
+    parser.add_argument("--query", default="glet1", help="query for --self-test")
+    args = parser.parse_args(argv)
+    if args.self_test:
+        try:
+            return self_test(args.base_url, dataset=args.dataset, query=args.query)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            print(f"[self-test] FAILED: {exc}", file=sys.stderr)
+            return 1
+    with ServiceClient(args.base_url) as client:
+        print(json.dumps(client.healthz(), indent=2))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

@@ -1,0 +1,295 @@
+"""Bounded job queue with worker threads and admission control.
+
+Every counting execution — synchronous ``POST /count`` included — flows
+through one :class:`JobQueue`: a bounded ``queue.Queue`` drained by N
+daemon worker threads.  Admission control is the queue bound: when all
+workers are busy and the backlog is full, :meth:`submit` raises
+:class:`ServiceSaturated` and the HTTP layer answers ``429`` instead of
+letting latency grow without bound.
+
+Jobs carry their full lifecycle (``queued → running → done | failed``)
+with timestamps, so ``GET /jobs/<id>`` doubles as a progress probe; a
+bounded history of finished jobs is kept for late pollers.
+"""
+
+from __future__ import annotations
+
+import itertools
+import queue
+import threading
+import time
+import uuid
+from typing import Callable, Dict, List, Optional
+
+__all__ = ["Job", "JobQueue", "ServiceSaturated", "UnknownJobError"]
+
+#: job lifecycle states
+QUEUED, RUNNING, DONE, FAILED = "queued", "running", "done", "failed"
+
+
+class ServiceSaturated(RuntimeError):
+    """Queue bound hit: the service sheds this request (HTTP 429)."""
+
+
+class UnknownJobError(KeyError):
+    """Job id not queued, running, or in the finished history (HTTP 404)."""
+
+
+class Job:
+    """One unit of counting work moving through the queue.
+
+    ``fn`` is the zero-argument closure the service builds (engine call +
+    cache fill); the queue only schedules it.  ``event`` fires on
+    completion — the sync path submits and waits on it.
+    """
+
+    _seq = itertools.count(1)
+
+    def __init__(self, fn: Callable[[], object], label: str = "", fingerprint: str = "") -> None:
+        self.id = uuid.uuid4().hex[:16]
+        self.seq = next(Job._seq)
+        self.label = label
+        self.fingerprint = fingerprint
+        self.fn = fn
+        self.state = QUEUED
+        self.result: Optional[object] = None
+        self.error: Optional[str] = None
+        self.created_at = time.time()
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+        self.event = threading.Event()
+
+    # ------------------------------------------------------------------
+    @property
+    def done(self) -> bool:
+        return self.state in (DONE, FAILED)
+
+    @property
+    def progress(self) -> float:
+        """Coarse lifecycle progress: 0.0 queued, 0.5 running, 1.0 done."""
+        if self.done:
+            return 1.0
+        return 0.5 if self.state == RUNNING else 0.0
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until the job finishes; True when it did within timeout."""
+        return self.event.wait(timeout)
+
+    def to_dict(self, include_result: bool = True) -> Dict[str, object]:
+        """JSON-safe job status (the ``GET /jobs/<id>`` payload)."""
+        doc: Dict[str, object] = {
+            "id": self.id,
+            "label": self.label,
+            "fingerprint": self.fingerprint,
+            "state": self.state,
+            "progress": self.progress,
+            "created_at": self.created_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+        }
+        if self.error is not None:
+            doc["error"] = self.error
+        if include_result and self.state == DONE and self.result is not None:
+            result = self.result
+            doc["result"] = result.to_dict() if hasattr(result, "to_dict") else result
+        return doc
+
+
+class JobQueue:
+    """Fixed worker-thread pool over a bounded FIFO of :class:`Job`.
+
+    ``depth`` bounds the *backlog* (jobs accepted but not yet running);
+    with ``workers`` threads the service holds at most ``workers +
+    depth`` admitted jobs at a time.  ``history`` bounds how many
+    finished jobs stay pollable — softly: a job that finished less than
+    ``retention_seconds`` ago survives the bound (so a just-acknowledged
+    id can always be polled, even under a flood of cache-hit
+    submissions), up to a hard cap of ``8 × history``.
+    """
+
+    def __init__(
+        self,
+        workers: int = 2,
+        depth: int = 32,
+        history: int = 256,
+        retention_seconds: float = 30.0,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("need at least one worker thread")
+        if depth < 1:
+            raise ValueError("queue depth must be >= 1")
+        self.depth = int(depth)
+        self._retention = float(retention_seconds)
+        self._queue: "queue.Queue[Optional[Job]]" = queue.Queue(maxsize=self.depth)
+        self._jobs: Dict[str, Job] = {}
+        self._finished: List[str] = []
+        self._history = int(history)
+        self._lock = threading.Lock()
+        self._closed = False
+        self._submitted = 0
+        self._rejected = 0
+        self._completed = 0
+        self._failed = 0
+        self._cancelled = 0
+        self._running = 0
+        self._threads = [
+            threading.Thread(target=self._worker_loop, name=f"repro-job-{i}", daemon=True)
+            for i in range(int(workers))
+        ]
+        for t in self._threads:
+            t.start()
+
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> Job:
+        """Admit ``job`` or raise :class:`ServiceSaturated` when full.
+
+        The closed-check and the enqueue are one atomic step: a job can
+        never land in the queue after :meth:`close` has drained the
+        backlog (where it would sit unserved forever).
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("job queue is closed")
+            try:
+                self._queue.put_nowait(job)
+            except queue.Full:
+                self._rejected += 1
+                raise ServiceSaturated(
+                    f"job queue saturated ({self.depth} queued); retry later"
+                ) from None
+            self._jobs[job.id] = job
+            self._submitted += 1
+        return job
+
+    def _trim_history_locked(self) -> None:
+        """Drop old finished jobs past the bound (call with the lock held).
+
+        Jobs younger than the retention window survive the count bound so
+        an id handed out moments ago never 404s on its first poll; the
+        ``8 × history`` hard cap keeps memory bounded under sustained
+        cache-hit submission floods.
+        """
+        now = time.time()
+        while len(self._finished) > self._history:
+            oldest = self._jobs.get(self._finished[0])
+            if (
+                oldest is not None
+                and oldest.finished_at is not None
+                and now - oldest.finished_at < self._retention
+                and len(self._finished) <= 8 * self._history
+            ):
+                break
+            self._jobs.pop(self._finished.pop(0), None)
+
+    def expose(self, job: Job) -> Job:
+        """Make ``job`` visible to :meth:`get` before it is submitted.
+
+        The service publishes a job to its in-flight table and submits it
+        as two steps; exposing it first means a concurrent joiner's
+        ``202`` id can always be polled, even in the window before (or a
+        failure of) the actual submission.
+        """
+        with self._lock:
+            self._jobs[job.id] = job
+        return job
+
+    def adopt(self, job: Job) -> Job:
+        """Record an already-finished job (cache-hit submissions) so it
+        stays pollable through :meth:`get` like any executed job."""
+        if not job.done:
+            raise ValueError("only finished jobs can be adopted")
+        with self._lock:
+            self._jobs[job.id] = job
+            self._finished.append(job.id)
+            self._trim_history_locked()
+        return job
+
+    def get(self, job_id: str) -> Job:
+        with self._lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            raise UnknownJobError(job_id)
+        return job
+
+    def jobs(self, limit: int = 50) -> List[Job]:
+        """Most recent jobs, newest first."""
+        with self._lock:
+            ordered = sorted(self._jobs.values(), key=lambda j: j.seq, reverse=True)
+        return ordered[: max(0, limit)]
+
+    # ------------------------------------------------------------------
+    def _worker_loop(self) -> None:
+        while True:
+            job = self._queue.get()
+            if job is None:
+                self._queue.task_done()
+                return
+            job.state = RUNNING
+            job.started_at = time.time()
+            with self._lock:
+                self._running += 1
+            try:
+                job.result = job.fn()
+                job.state = DONE
+            except Exception as exc:  # noqa: BLE001 - reported to the poller
+                job.error = f"{type(exc).__name__}: {exc}"
+                job.state = FAILED
+            finally:
+                job.finished_at = time.time()
+                with self._lock:
+                    self._running -= 1
+                    if job.state == DONE:
+                        self._completed += 1
+                    else:
+                        self._failed += 1
+                    self._finished.append(job.id)
+                    self._trim_history_locked()
+                job.event.set()
+                self._queue.task_done()
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict[str, int]:
+        """Exact queue counters (the ``/stats`` payload)."""
+        with self._lock:
+            return {
+                "workers": len(self._threads),
+                "depth": self.depth,
+                "queued": self._queue.qsize(),
+                "running": self._running,
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "cancelled": self._cancelled,
+                "rejected": self._rejected,
+            }
+
+    def close(self, timeout: float = 5.0) -> None:
+        """Stop the worker threads (idempotent).
+
+        Queued-but-not-started jobs are **cancelled** (marked failed,
+        waiters released) rather than drained, so shutdown latency is
+        bounded by the jobs already running — a SIGTERM with a full
+        backlog never hangs for backlog × job-duration.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        while True:  # empty the backlog so the sentinels enqueue promptly
+            try:
+                job = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if job is not None:
+                job.error = "cancelled: service shutting down"
+                job.state = FAILED
+                job.finished_at = time.time()
+                with self._lock:
+                    self._cancelled += 1
+                job.event.set()
+            self._queue.task_done()
+        for _ in self._threads:
+            # blocks at most until a worker finishes its current job
+            self._queue.put(None)
+        for t in self._threads:
+            t.join(timeout=timeout)

@@ -1,0 +1,355 @@
+"""`CountingService` — the long-lived orchestrator behind the HTTP API.
+
+One service owns the three amortizing layers and threads every request
+through them in order:
+
+1. :class:`~repro.service.cache.ResultCache` — keyed on the engine's
+   stable request fingerprint; a hit is served without touching the
+   counting stack;
+2. **in-flight dedup** (single flight) — concurrent identical requests
+   attach to the one job already computing that fingerprint instead of
+   recomputing it, so the cache-miss cost is paid exactly once per key;
+3. :class:`~repro.service.jobs.JobQueue` — bounded admission + worker
+   threads; sync requests submit-and-wait, async requests submit-and-poll.
+
+Datasets (graphs + warm engines + shard pools) live in the
+:class:`~repro.service.registry.DatasetRegistry`; results are
+bit-identical to a direct :meth:`CountingEngine.count` with the same
+parameters, which the concurrency hammer test asserts.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple, Union
+
+from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
+from ..engine.backends import DEFAULT_REGISTRY
+from ..engine.fingerprint import request_fingerprint
+from ..query.library import paper_query
+from ..query.query import QueryGraph
+from .cache import ResultCache
+from .jobs import Job, JobQueue, ServiceSaturated, UnknownJobError
+from .registry import DatasetEntry, DatasetRegistry, UnknownDatasetError
+
+__all__ = [
+    "CountingService",
+    "BadRequestError",
+    "ServiceTimeout",
+    "ServiceSaturated",
+    "UnknownDatasetError",
+    "UnknownJobError",
+    "UnknownQueryError",
+]
+
+#: request fields a client may override per call (everything else is
+#: fixed by the service's EngineConfig)
+REQUEST_FIELDS = ("method", "trials", "seed", "num_colors", "workers", "coloring_strategy")
+
+#: upper bounds on the untrusted per-request knobs — one HTTP client
+#: must not be able to materialize gigabytes of colorings, fork
+#: thousands of processes, or cache unbounded shard pools
+MAX_TRIALS = 1_000
+MAX_WORKERS = 32
+MAX_NUM_COLORS = 64
+
+
+class BadRequestError(ValueError):
+    """Malformed or unsupported request parameters (HTTP 400)."""
+
+
+class UnknownQueryError(KeyError):
+    """Query name not in the paper library (HTTP 404)."""
+
+
+class ServiceTimeout(RuntimeError):
+    """A synchronous request ran past its deadline (HTTP 504)."""
+
+
+class CountingService:
+    """Async counting service: dataset registry + job queue + result cache.
+
+    ``workers``/``queue_depth`` size the execution layer, ``cache_size``
+    the result cache; ``config`` is the engine-wide default every request
+    inherits from (method, trials, seed, palette, shard workers, ...).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[DatasetRegistry] = None,
+        config: Optional[EngineConfig] = None,
+        workers: int = 2,
+        queue_depth: int = 32,
+        cache_size: int = 256,
+        history: int = 256,
+    ) -> None:
+        if registry is not None and config is not None and registry.config is not config:
+            raise ValueError("pass the EngineConfig either via registry or config, not both")
+        self.registry = registry if registry is not None else DatasetRegistry(config)
+        self.config = self.registry.config
+        self.cache = ResultCache(cache_size)
+        self.queue = JobQueue(workers=workers, depth=queue_depth, history=history)
+        self.started_at = time.time()
+        self._lock = threading.Lock()
+        self._inflight: Dict[str, Job] = {}
+        self._closed = False
+        self._count_requests = 0
+        self._job_requests = 0
+        self._computed = 0
+        self._inflight_joins = 0
+
+    # ------------------------------------------------------------------
+    # request construction
+    # ------------------------------------------------------------------
+    def resolve_query(self, spec: Union[str, dict, QueryGraph]) -> QueryGraph:
+        """Turn a wire query spec into a :class:`QueryGraph`.
+
+        A string names one of the ten Figure 8 paper queries; a dict
+        carries explicit structure (``{"edges": [[u, v], ...], "name":
+        ...}``) for ad-hoc queries.
+        """
+        if isinstance(spec, QueryGraph):
+            return spec
+        if isinstance(spec, str):
+            try:
+                return paper_query(spec)
+            except KeyError as exc:
+                raise UnknownQueryError(str(exc)) from None
+        if isinstance(spec, dict):
+            edges = spec.get("edges")
+            if not edges:
+                raise BadRequestError("custom query needs a non-empty 'edges' list")
+            try:
+                pairs = [(int(u), int(v)) for u, v in edges]
+                return QueryGraph(pairs, name=str(spec.get("name", "custom")))
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(f"bad query edges: {exc}") from None
+        raise BadRequestError(f"query spec must be a name or edge dict, got {type(spec).__name__}")
+
+    def build_request(self, query: QueryGraph, params: Dict[str, object]) -> CountRequest:
+        """Validate wire params and build the resolved :class:`CountRequest`.
+
+        Coerces JSON value types (``"2"``/``2.0`` → ``2``, so equivalent
+        spellings share a fingerprint) and rejects unknown fields,
+        unknown methods, ``trials < 1`` and ``num_colors < k`` eagerly,
+        so a queued job can only fail for genuinely exceptional reasons.
+        """
+        unknown = sorted(set(params) - set(REQUEST_FIELDS))
+        if unknown:
+            raise BadRequestError(
+                f"unknown request fields {unknown}; allowed: {sorted(REQUEST_FIELDS)}"
+            )
+        kwargs: Dict[str, object] = {}
+        for field in REQUEST_FIELDS:
+            value = params.get(field)
+            if value is None:
+                continue
+            coerce = str if field in ("method", "coloring_strategy") else int
+            try:
+                coerced = coerce(value)
+            except (TypeError, ValueError):
+                raise BadRequestError(
+                    f"bad value for {field!r}: {value!r} (need {coerce.__name__})"
+                ) from None
+            if coerce is int and isinstance(value, float) and value != coerced:
+                raise BadRequestError(f"bad value for {field!r}: {value!r} (need int)")
+            kwargs[field] = coerced
+        try:
+            request = CountRequest(query=query, **kwargs).resolved(self.config)
+        except TypeError as exc:
+            raise BadRequestError(str(exc)) from None
+        if request.method != "auto" and request.method not in DEFAULT_REGISTRY:
+            raise BadRequestError(
+                f"unknown method {request.method!r}; use one of "
+                f"{DEFAULT_REGISTRY.names()} or 'auto'"
+            )
+        if not 1 <= int(request.trials) <= MAX_TRIALS:
+            raise BadRequestError(f"trials must be in [1, {MAX_TRIALS}]")
+        if not 1 <= int(request.workers) <= MAX_WORKERS:
+            raise BadRequestError(f"workers must be in [1, {MAX_WORKERS}]")
+        if request.num_colors is not None and not (
+            query.k <= int(request.num_colors) <= MAX_NUM_COLORS
+        ):
+            raise BadRequestError(
+                f"num_colors must be in [k={query.k}, {MAX_NUM_COLORS}]"
+            )
+        return request
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def _execute(self, entry: DatasetEntry, request: CountRequest, fp: str) -> RunResult:
+        """Run one admitted request on the dataset's engine, fill the cache."""
+        try:
+            result = entry.engine.count(request)
+            self.cache.put(fp, result)
+            with self._lock:
+                self._computed += 1
+            return result
+        finally:
+            with self._lock:
+                self._inflight.pop(fp, None)
+
+    def _admit(
+        self, dataset: str, query_spec, params: Dict[str, object]
+    ) -> Tuple[Optional[RunResult], Optional[Job], str]:
+        """Cache lookup → in-flight join → queue submit, in that order.
+
+        Returns ``(result, job, fingerprint)`` where exactly one of
+        ``result`` (cache hit) and ``job`` (to wait on / poll) is set.
+        """
+        if self._closed:
+            raise RuntimeError("service is closed")
+        entry = self.registry.count_request(dataset)
+        query = self.resolve_query(query_spec)
+        request = self.build_request(query, params)
+        # the generation suffix retires cache entries when a dataset is
+        # re-registered under the same name with different contents
+        fp = request_fingerprint(
+            f"{dataset}@g{entry.generation}", request, self.config
+        )
+        # cache lookup and in-flight check are one atomic step: a worker
+        # fills the cache *before* it drops its in-flight entry (which
+        # needs this same lock), so a miss here always finds the job —
+        # each fingerprint is computed exactly once
+        with self._lock:
+            hit, value = self.cache.get(fp)
+            if hit:
+                return value, None, fp  # type: ignore[return-value]
+            job = self._inflight.get(fp)
+            if job is not None:
+                self._inflight_joins += 1
+                return None, job, fp
+            label = f"{dataset}/{query.name or 'custom'}"
+            job = Job(lambda: self._execute(entry, request, fp), label=label, fingerprint=fp)
+            self._inflight[fp] = job
+            # visible to GET /jobs/<id> from the instant a joiner can see
+            # it, even before (or without) a successful queue submission
+            self.queue.expose(job)
+        try:
+            self.queue.submit(job)
+        except ServiceSaturated as exc:
+            with self._lock:
+                self._inflight.pop(fp, None)
+            # a concurrent identical request may have joined this job in
+            # the window before the pop; fail it loudly so no waiter
+            # sleeps to its timeout on a job that will never run
+            job.error = f"rejected: {exc}"
+            job.state = "failed"
+            job.finished_at = time.time()
+            job.event.set()
+            self.queue.adopt(job)  # pollable + history-trimmed like any job
+            raise
+        return None, job, fp
+
+    def count(
+        self,
+        dataset: str,
+        query: Union[str, dict, QueryGraph],
+        timeout: Optional[float] = 300.0,
+        **params,
+    ) -> Tuple[RunResult, bool]:
+        """Synchronous counting: ``(RunResult, served_from_cache)``.
+
+        Bit-identical to ``CountingEngine.count`` with the same resolved
+        parameters.  Raises :class:`ServiceSaturated` when the queue is
+        full and :class:`ServiceTimeout` when the deadline passes.
+        """
+        with self._lock:
+            self._count_requests += 1
+        result, job, _fp = self._admit(dataset, query, params)
+        if result is not None:
+            return result, True
+        assert job is not None
+        if not job.wait(timeout):
+            raise ServiceTimeout(f"request still {job.state} after {timeout:g}s")
+        if job.state != "done":
+            error = job.error or "job failed"
+            if error.startswith("rejected:"):
+                # joined a job whose submission was shed by admission
+                # control — this request was effectively rejected too
+                raise ServiceSaturated(error)
+            raise RuntimeError(error)
+        return job.result, False  # type: ignore[return-value]
+
+    def submit(
+        self, dataset: str, query: Union[str, dict, QueryGraph], **params
+    ) -> Job:
+        """Asynchronous counting: admit and return the job to poll.
+
+        A cache hit still returns a job — already ``done``, carrying the
+        cached result — so clients poll one uniform shape.
+        """
+        with self._lock:
+            self._job_requests += 1
+        result, job, fp = self._admit(dataset, query, params)
+        if job is not None:
+            return job
+        done = Job(lambda: result, label="cached", fingerprint=fp)
+        done.state = "done"
+        done.result = result
+        done.started_at = done.finished_at = time.time()
+        done.event.set()
+        return self.queue.adopt(done)
+
+    def job(self, job_id: str) -> Job:
+        """Look up a submitted job by id (raises :class:`UnknownJobError`)."""
+        return self.queue.get(job_id)
+
+    # ------------------------------------------------------------------
+    # observability + lifecycle
+    # ------------------------------------------------------------------
+    def datasets(self) -> List[Dict[str, object]]:
+        return self.registry.describe()
+
+    def stats(self) -> Dict[str, object]:
+        """One JSON-safe snapshot of every layer (``GET /stats``)."""
+        with self._lock:
+            requests = {
+                "count": self._count_requests,
+                "jobs": self._job_requests,
+                "computed": self._computed,
+                "inflight_joins": self._inflight_joins,
+                "inflight": len(self._inflight),
+            }
+        executors: Dict[str, List[Dict[str, object]]] = {}
+        for name in self.registry.names():
+            engine: CountingEngine = self.registry.get(name).engine
+            pools = [ex.describe() for ex in engine.executors()]
+            if pools:
+                executors[name] = pools
+        return {
+            "uptime_seconds": time.time() - self.started_at,
+            "requests": requests,
+            "cache": self.cache.snapshot(),
+            "queue": self.queue.stats(),
+            "datasets": self.datasets(),
+            "executors": executors,
+        }
+
+    def close(self) -> None:
+        """Drain the queue, stop workers, release every engine pool.
+
+        Idempotent; the ``repro-serve`` signal handlers and the engine
+        ``atexit`` hook both funnel through here, so a SIGTERM'd service
+        leaves no worker processes or shared-memory segments behind.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self.queue.close()
+        self.registry.close()
+
+    def __enter__(self) -> "CountingService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CountingService(datasets={len(self.registry)}, "
+            f"cache={self.cache.snapshot()['size']}, closed={self._closed})"
+        )

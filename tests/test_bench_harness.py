@@ -258,3 +258,42 @@ class TestScalingBench:
 
         with pytest.raises(ValueError, match="worker counts"):
             run_scaling_bench(workers=(0, 2), repeats=1)
+
+
+class TestServeBench:
+    """The counting-service throughput bench and its CLI entry point."""
+
+    def test_run_serve_smoke_structure_and_parity(self):
+        from repro.bench import SERVE_GRID, run_serve_smoke
+        from repro.engine import EngineConfig
+
+        doc = run_serve_smoke(duration=0.1, config=EngineConfig(seed=0))
+        assert doc["cached_qps"] > 0
+        assert doc["cache"]["misses"] == len(SERVE_GRID)
+        assert doc["cache"]["evictions"] == 0
+        # three records per grid cell: cold, cached-http, cached-local
+        assert len(doc["records"]) == 3 * len(SERVE_GRID)
+        by_cell = {}
+        for rec in doc["records"]:
+            by_cell.setdefault((rec["graph"], rec["query"]), set()).add(rec["count"])
+        # cold/cached paths agree on the counts (parity asserted inside too)
+        assert all(len(counts) == 1 for counts in by_cell.values())
+        for rec in doc["records"]:
+            if rec["method"] != "cold-http":
+                assert rec["qps"] > 0 and rec["requests"] >= 1
+
+    def test_serve_cli_emits_json_and_gates(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_serve.json"
+        rc = harness_main([
+            "--serve-smoke", "--duration", "0.1",
+            "--emit-json", str(out), "--assert-qps", "0.01",
+        ])
+        assert rc == 0
+        doc = load_bench_json(str(out))
+        assert doc["cached_qps"] > 0
+        assert any(r["method"] == "cached-http" for r in doc["records"])
+        # an impossible throughput floor fails the gate
+        rc = harness_main(["--serve-smoke", "--duration", "0.05",
+                           "--assert-qps", "1e12"])
+        assert rc == 1
+        assert "FAIL" in capsys.readouterr().out

@@ -1,0 +1,207 @@
+"""HTTP surface end to end: every endpoint, error mapping, 429, parity.
+
+Boots a real :class:`ServiceHTTPServer` on an ephemeral port and drives
+it with the stdlib :class:`ServiceClient` — the acceptance path: a
+booted service must answer ``POST /count`` bit-identically to
+:meth:`CountingEngine.count` for the whole Figure 8 query library, serve
+repeats from the cache (visible in ``GET /stats``), and shed load with
+429 when saturated.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.engine import CountingEngine, EngineConfig
+from repro.graph.generators import erdos_renyi
+from repro.query.library import paper_queries
+from repro.service import CountingService, Job
+from repro.service.client import SaturatedError, ServiceAPIError, ServiceClient, self_test
+from repro.service.httpd import make_server, serve_forever
+
+CONFIG = EngineConfig(method="ps-vec", trials=2, seed=0)
+
+
+@pytest.fixture(scope="module")
+def stack():
+    """(service, server, client) booted once for the module."""
+    service = CountingService(config=CONFIG, workers=2, queue_depth=16, cache_size=128)
+    service.registry.add(
+        "er60", erdos_renyi(60, 0.12, np.random.default_rng(42), name="er60")
+    )
+    server = make_server(service, port=0)
+    thread = serve_forever(server)
+    client = ServiceClient(server.url)
+    yield service, server, client
+    client.close()
+    server.shutdown()
+    thread.join(timeout=5.0)
+    server.server_close()
+    service.close()
+
+
+class TestEndpoints:
+    def test_healthz_and_datasets(self, stack):
+        _, _, client = stack
+        health = client.healthz()
+        assert health["ok"] and health["datasets"] == 1
+        (ds,) = client.datasets()
+        assert ds["name"] == "er60" and ds["n"] == 60
+
+    def test_count_cold_then_cached(self, stack):
+        service, _, client = stack
+        result, cached = client.count("er60", "glet1", trials=3, seed=2)
+        assert not cached and result["method"] == "ps-vec"
+        hits_before = service.cache.snapshot()["hits"]
+        again, cached = client.count("er60", "glet1", trials=3, seed=2)
+        assert cached
+        assert again["colorful_counts"] == result["colorful_counts"]
+        assert service.cache.snapshot()["hits"] == hits_before + 1
+
+    def test_jobs_lifecycle(self, stack):
+        _, _, client = stack
+        job = client.submit("er60", "glet2", seed=6)
+        assert job["state"] in ("queued", "running", "done")
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == "done" and done["progress"] == 1.0
+        assert done["result"]["trials"] == CONFIG.trials
+        assert any(j["id"] == job["id"] for j in client.jobs())
+
+    def test_stats_shape(self, stack):
+        _, _, client = stack
+        stats = client.stats()
+        for section in ("uptime_seconds", "requests", "cache", "queue", "datasets"):
+            assert section in stats
+        assert stats["queue"]["workers"] == 2
+
+    def test_error_mapping(self, stack):
+        _, _, client = stack
+        for kwargs, status in (
+            (dict(dataset="nope", query="glet1"), 404),
+            (dict(dataset="er60", query="nope"), 404),
+            (dict(dataset="er60", query="glet1", trials=0), 400),
+            (dict(dataset="er60", query="glet1", method="warp"), 400),
+        ):
+            with pytest.raises(ServiceAPIError) as err:
+                client.count(**kwargs)
+            assert err.value.status == status
+        with pytest.raises(ServiceAPIError) as err:
+            client.job("doesnotexist")
+        assert err.value.status == 404
+
+    def test_unknown_endpoint_404(self, stack):
+        _, _, client = stack
+        with pytest.raises(ServiceAPIError) as err:
+            client._request("GET", "/teapot")
+        assert err.value.status == 404
+        with pytest.raises(ServiceAPIError) as err:
+            client._request("POST", "/count", None)  # no body
+        assert err.value.status == 400
+
+    def test_client_self_test_passes(self, stack):
+        _, server, _ = stack
+        assert self_test(server.url, dataset="er60", query="glet1") == 0
+
+
+class TestWholeQueryLibraryParity:
+    def test_counts_bit_identical_for_every_paper_query(self, stack):
+        """Acceptance: POST /count == CountingEngine.count, all 10 queries."""
+        service, _, client = stack
+        graph = service.registry.get("er60").graph
+        with CountingEngine(graph, CONFIG) as engine:
+            for name, query in paper_queries().items():
+                result, _cached = client.count("er60", name, trials=2, seed=3)
+                direct = engine.count(query, trials=2, seed=3)
+                assert result["colorful_counts"] == direct.colorful_counts, name
+                assert result["estimate"] == pytest.approx(direct.estimate), name
+                assert result["method"] == direct.method == "ps-vec"
+
+
+class TestServeCLI:
+    def test_run_serve_boots_and_stops(self, tmp_path):
+        """`repro-serve` wiring end to end: parse, boot, answer, shut down."""
+        import socket
+
+        from repro.graph.io import write_json_graph
+        from repro.service.cli import main as serve_main, run_serve
+
+        with socket.socket() as probe:
+            probe.bind(("127.0.0.1", 0))
+            port = probe.getsockname()[1]
+        path = str(tmp_path / "tiny.json")
+        write_json_graph(
+            erdos_renyi(25, 0.2, np.random.default_rng(5), name="tiny"), path
+        )
+
+        import argparse
+
+        parser = argparse.ArgumentParser()
+        from repro.cli import add_serve_arguments
+
+        add_serve_arguments(parser)
+        args = parser.parse_args([
+            "--port", str(port), "--dataset", f"tiny={path}",
+            "--trials", "2", "--workers", "1", "--queue-depth", "4",
+        ])
+        stop = threading.Event()
+        rc: list = []
+        thread = threading.Thread(target=lambda: rc.append(run_serve(args, stop=stop)))
+        thread.start()
+        try:
+            client = ServiceClient(f"http://127.0.0.1:{port}")
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                try:
+                    assert client.healthz()["ok"]
+                    break
+                except OSError:
+                    time.sleep(0.05)
+            else:
+                pytest.fail("server never came up")
+            result, _ = client.count("tiny", "glet1")
+            assert result["trials"] == 2
+            client.close()
+        finally:
+            stop.set()
+            thread.join(timeout=10.0)
+        assert rc == [0]
+        # bad dataset spec fails fast with exit code 2
+        assert serve_main(["--dataset", "/nonexistent/file.edges", "--port", "0"]) == 2
+
+
+class TestSaturation:
+    def test_429_when_queue_full(self):
+        """Block the only worker, fill the backlog, expect 429 + Retry-After."""
+        service = CountingService(config=CONFIG, workers=1, queue_depth=1, cache_size=8)
+        service.registry.add(
+            "er30", erdos_renyi(30, 0.15, np.random.default_rng(3), name="er30")
+        )
+        server = make_server(service, port=0)
+        thread = serve_forever(server)
+        release = threading.Event()
+        try:
+            blocker = service.queue.submit(Job(release.wait, label="blocker"))
+            deadline = time.monotonic() + 5.0
+            while blocker.state == "queued" and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert blocker.state == "running"
+            filler = service.queue.submit(Job(lambda: None, label="filler"))
+            with ServiceClient(server.url) as client:
+                with pytest.raises(SaturatedError) as err:
+                    client.count("er30", "glet1")
+                assert err.value.status == 429
+                release.set()
+                assert blocker.wait(5.0) and filler.wait(5.0)
+                result, _ = client.count("er30", "glet1", timeout=60.0)
+                assert result["trials"] == CONFIG.trials
+            assert service.queue.stats()["rejected"] == 1
+        finally:
+            release.set()
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+            service.close()
