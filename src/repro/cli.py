@@ -28,7 +28,13 @@ from .graph.io import read_edge_list
 from .graph.properties import graph_summary
 from .engine import CountingEngine, available_backends
 from .query.automorphisms import automorphism_count
-from .query.library import PAPER_QUERY_SIZES, paper_queries, paper_query
+from .query.library import (
+    PAPER_QUERY_SIZES,
+    coerce_node_labels,
+    labeled_queries,
+    paper_queries,
+    resolve_query_name,
+)
 from .query.treewidth import treewidth
 
 
@@ -38,10 +44,68 @@ def _load_graph(arg: str):
     return read_edge_list(arg)
 
 
+def _cli_error(exc: BaseException) -> int:
+    """Print a clean ``error: ...`` line and return exit code 2.
+
+    ``KeyError`` carries its message in ``args[0]`` (``str()`` would
+    repr-quote it); bare-path ``OSError``\\ s get a what-failed prefix.
+    """
+    if isinstance(exc, KeyError) and exc.args:
+        msg = exc.args[0]
+    elif isinstance(exc, OSError):
+        msg = f"cannot read input: {exc}"
+    else:
+        msg = str(exc)
+    print(f"error: {msg}", file=sys.stderr)
+    return 2
+
+
+def _parse_query_labels(q, spec: str):
+    """``--labels`` spec → ``{query node: int}``.
+
+    Two spellings: ``node=label`` pairs (``a=0,b=1``) or a bare
+    comma-separated list with one label per node in the query's
+    deterministic node order (``0,1,1,0``).  Validation (coverage,
+    bounds, int coercion) is the service wire format's, via the shared
+    :func:`repro.query.library.coerce_node_labels`.
+    """
+    spec = spec.strip()
+    if "=" in spec:
+        parsed: object = {}
+        for item in spec.split(","):
+            key, _, value = item.partition("=")
+            parsed[key.strip()] = value.strip()
+    else:
+        parsed = [x.strip() for x in spec.split(",")]
+    return coerce_node_labels(q, parsed)
+
+
+def _apply_graph_labels(g, spec: str):
+    """``--graph-labels`` spec → labeled copy of ``g``.
+
+    ``random:<L>[:<seed>]`` draws one of ``L`` labels per vertex from a
+    deterministic generator; anything else is a path to a whitespace- or
+    newline-separated file with one integer per vertex.
+    """
+    if spec.startswith("random:"):
+        parts = spec.split(":")
+        num_labels = int(parts[1])
+        seed = int(parts[2]) if len(parts) > 2 else 0
+        rng = np.random.default_rng(seed)
+        return g.with_labels(rng.integers(0, num_labels, size=g.n))
+    with open(spec, "r", encoding="utf-8") as fh:
+        values = [int(x) for x in fh.read().split()]
+    return g.with_labels(values)
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
-    g = _load_graph(args.graph)
-    q = paper_query(args.query)
     try:
+        g = _load_graph(args.graph)
+        q = resolve_query_name(args.query)
+        if args.graph_labels:
+            g = _apply_graph_labels(g, args.graph_labels)
+        if args.labels:
+            q = q.with_labels(_parse_query_labels(q, args.labels))
         with CountingEngine(g, partition_strategy=args.partition) as engine:
             result = engine.count(
                 q,
@@ -51,13 +115,14 @@ def _cmd_count(args: argparse.Namespace) -> int:
                 num_colors=args.num_colors,
                 workers=args.workers,
             )
-    except ValueError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 2
+    except (KeyError, OSError, ValueError) as exc:
+        return _cli_error(exc)
     palette = f", num_colors={result.num_colors}" if result.num_colors != q.k else ""
     workers = f", workers={result.workers}" if result.workers > 1 else ""
-    print(f"graph          : {g.name} (n={g.n}, m={g.m})")
-    print(f"query          : {q.name} (k={q.k})")
+    labeled = " labeled" if q.labels is not None else ""
+    print(f"graph          : {g.name} (n={g.n}, m={g.m}"
+          + (f", labels={g.num_labels()}" if g.labels is not None else "") + ")")
+    print(f"query          : {q.name} (k={q.k}{labeled})")
     print(f"method         : {result.method}, trials={args.trials}{palette}{workers}")
     print(f"colorful counts: {result.colorful_counts}")
     print(f"match estimate : {result.estimate:.6g}")
@@ -68,7 +133,10 @@ def _cmd_count(args: argparse.Namespace) -> int:
 
 
 def _cmd_plan(args: argparse.Namespace) -> int:
-    q = paper_query(args.query)
+    try:
+        q = resolve_query_name(args.query)
+    except KeyError as exc:
+        return _cli_error(exc)
     plans = enumerate_plans(q)
     best = choose_plan(q)
     print(f"query {q.name}: k={q.k}, treewidth={treewidth(q)}, plans={len(plans)}")
@@ -81,11 +149,14 @@ def _cmd_compare(args: argparse.Namespace) -> int:
     from .counting.colorings import uniform_coloring
     from .distributed.metrics import compare_methods
 
-    g = _load_graph(args.graph)
-    q = paper_query(args.query)
-    rng = np.random.default_rng(args.seed)
-    colors = uniform_coloring(g.n, q.k, rng)
-    cmp = compare_methods(g, q, colors, nranks=args.ranks)
+    try:
+        g = _load_graph(args.graph)
+        q = resolve_query_name(args.query)
+        rng = np.random.default_rng(args.seed)
+        colors = uniform_coloring(g.n, q.k, rng)
+        cmp = compare_methods(g, q, colors, nranks=args.ranks)
+    except (KeyError, OSError, ValueError) as exc:
+        return _cli_error(exc)
     print(f"graph {g.name} (n={g.n}, m={g.m}, skew={g.degree_skew():.1f}) x "
           f"query {q.name} (k={q.k}) @ {args.ranks} simulated ranks")
     print(f"colorful count      : {cmp.db.count}")
@@ -99,9 +170,12 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 def _cmd_verify(args: argparse.Namespace) -> int:
     from .counting.verify import verify_counting
 
-    g = _load_graph(args.graph)
-    q = paper_query(args.query)
-    report = verify_counting(g, q, seed=args.seed)
+    try:
+        g = _load_graph(args.graph)
+        q = resolve_query_name(args.query)
+        report = verify_counting(g, q, seed=args.seed)
+    except (KeyError, OSError, ValueError) as exc:
+        return _cli_error(exc)
     print(report.summary())
     return 0 if report.ok else 1
 
@@ -111,11 +185,14 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     from .distributed.engine import run_distributed
     from .distributed.trace import format_trace
 
-    g = _load_graph(args.graph)
-    q = paper_query(args.query)
-    rng = np.random.default_rng(args.seed)
-    colors = uniform_coloring(g.n, q.k, rng)
-    run = run_distributed(g, q, colors, args.ranks, method=args.method)
+    try:
+        g = _load_graph(args.graph)
+        q = resolve_query_name(args.query)
+        rng = np.random.default_rng(args.seed)
+        colors = uniform_coloring(g.n, q.k, rng)
+        run = run_distributed(g, q, colors, args.ranks, method=args.method)
+    except (KeyError, OSError, ValueError) as exc:
+        return _cli_error(exc)
     print(f"count={run.count} makespan={run.makespan:.0f} speedup={run.speedup:.2f}")
     print(format_trace(run.stats, top=args.top))
     return 0
@@ -187,6 +264,10 @@ def _cmd_queries(_args: argparse.Namespace) -> int:
             f"{name:8s} k={q.k:2d} (paper: {PAPER_QUERY_SIZES[name]:2d}) "
             f"edges={q.num_edges():2d} tw={treewidth(q)}"
         )
+    print("labeled templates (use with --graph-labels / labeled datasets):")
+    for name, q in labeled_queries().items():
+        labs = ",".join(str(q.labels[v]) for v in q.nodes())
+        print(f"{name:14s} k={q.k:2d} edges={q.num_edges():2d} labels={labs}")
     return 0
 
 
@@ -220,6 +301,16 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--partition", choices=("block", "cyclic", "hash"), default="block",
         help="vertex partition strategy for ps-dist shards (default: block)",
+    )
+    p_count.add_argument(
+        "--labels", default=None, metavar="SPEC",
+        help="vertex-labeled counting: query labels as node=label pairs "
+        "('a=0,b=1') or a per-node list ('0,1,1,0') in node order",
+    )
+    p_count.add_argument(
+        "--graph-labels", default=None, metavar="SPEC",
+        help="data-graph labels: a file with one integer per vertex, or "
+        "'random:<L>[:<seed>]' for deterministic random labels",
     )
     p_count.set_defaults(func=_cmd_count)
 

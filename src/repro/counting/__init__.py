@@ -17,6 +17,7 @@ from .estimator import (
     normalization_factor,
     random_coloring,
 )
+from .labels import label_masks, label_masks_from_arrays
 from .ps import count_colorful_ps
 from .solver import ALL_METHODS, METHODS, VEC_METHOD, BlockSolver, solve_plan
 from .treelet import count_colorful_treelet
@@ -29,6 +30,8 @@ __all__ = [
     "make_context",
     "count_matches",
     "count_colorful_matches",
+    "label_masks",
+    "label_masks_from_arrays",
     "count_colorful_ps",
     "count_colorful_ps_vec",
     "count_colorful_db",

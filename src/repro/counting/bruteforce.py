@@ -56,6 +56,15 @@ def _count(
     back_edges: List[List[int]] = [
         sorted(pos[u] for u in q.adj[v] if pos[u] < i) for i, v in enumerate(order)
     ]
+    # Labeled matching: step i may only map to vertices labeled want[i].
+    want: Optional[List[int]] = None
+    if q.labels is not None:
+        if g.labels is None:
+            raise ValueError(
+                "labeled query requires a labeled data graph (Graph(labels=...))"
+            )
+        want = [q.labels[v] for v in order]
+    glabels = g.labels
     assignment: List[int] = [0] * k
     used_vertices = set()
     used_colors = set()
@@ -76,6 +85,8 @@ def _count(
         for cand in candidates:
             cand = int(cand)
             if cand in used_vertices:
+                continue
+            if want is not None and int(glabels[cand]) != want[i]:
                 continue
             if colors is not None and int(colors[cand]) in used_colors:
                 continue
@@ -99,12 +110,16 @@ def _count(
 
 
 def count_matches(g: Graph, q: QueryGraph) -> int:
-    """Exact number of matches (injective mappings preserving edges)."""
+    """Exact number of matches (injective mappings preserving edges).
+
+    Labeled queries additionally require matching vertex labels — this is
+    the ground-truth oracle for labeled counting across every backend.
+    """
     return _count(g, q, None)
 
 
 def count_colorful_matches(g: Graph, q: QueryGraph, colors: Sequence[int]) -> int:
-    """Exact number of colorful matches under a fixed coloring."""
+    """Exact number of colorful (label-compatible) matches under a coloring."""
     colors_arr = np.asarray(colors, dtype=np.int64)
     if len(colors_arr) != g.n:
         raise ValueError("coloring must cover every data vertex")

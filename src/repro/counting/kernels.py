@@ -119,6 +119,7 @@ def build_path_table(
     high: bool = False,
     record_set: Optional[Set[Node]] = None,
     stage_prefix: str = "path",
+    vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
 ) -> PathTable:
     """Sweep a cycle segment, building its projection table.
 
@@ -141,6 +142,11 @@ def build_path_table(
     record_set:
         Labels strictly inside the path whose images must be carried in
         the ``extras`` fields (cycle boundary nodes, DB mode).
+    vertex_ok:
+        ``query node -> boolean mask`` over data vertices (labeled
+        counting, :func:`repro.counting.labels.label_masks`).  Applied
+        only where candidates come from the data graph itself — child
+        tables are already filtered.
     """
     if len(path_labels) < 2:
         raise ValueError("paths need at least one edge")
@@ -148,6 +154,7 @@ def build_path_table(
     rec_order = tuple(lab for lab in path_labels[1:-1] if lab in record_set)
     rank = g.degree_order_rank() if high else None
     colors_i = colors
+    vertex_ok = vertex_ok or {}
 
     table = PathTable(rec_order)
     s_label = path_labels[0]
@@ -157,7 +164,10 @@ def build_path_table(
     first_recorded = path_labels[1] in record_set
     child0 = edge_tables.get(0)
     if child0 is None:
-        _init_from_graph(g, colors_i, table, high, rank, first_recorded, ctx)
+        _init_from_graph(
+            g, colors_i, table, high, rank, first_recorded, ctx,
+            ok_u=vertex_ok.get(s_label), ok_v=vertex_ok.get(path_labels[1]),
+        )
     else:
         _init_from_child(child0, table, high, rank, first_recorded, ctx)
 
@@ -176,7 +186,10 @@ def build_path_table(
         child = edge_tables.get(j)
         ctx.begin_stage(f"{stage_prefix}:ext{j}")
         if child is None:
-            table = _extend_with_graph(g, colors_i, table, high, rank, recorded, ctx)
+            table = _extend_with_graph(
+                g, colors_i, table, high, rank, recorded, ctx,
+                ok_w=vertex_ok.get(nxt_label),
+            )
         else:
             table = _extend_with_child(child, colors_i, table, high, rank, recorded, ctx)
         if nxt_label in node_tables:
@@ -193,16 +206,26 @@ def _init_from_graph(
     rank: Optional[np.ndarray],
     record_first: bool,
     ctx: ExecutionContext,
+    ok_u: Optional[np.ndarray] = None,
+    ok_v: Optional[np.ndarray] = None,
 ) -> None:
-    """Seed from the data graph's edges: cnt(u, v, {χu, χv}) = 1."""
+    """Seed from the data graph's edges: cnt(u, v, {χu, χv}) = 1.
+
+    ``ok_u``/``ok_v`` are the label-compatibility masks of the path's
+    first two query nodes — incompatible vertices never enter the table.
+    """
     add = table.add
     for u in range(g.n):
+        if ok_u is not None and not ok_u[u]:
+            continue
         nbrs = g.neighbors(u)
         if len(nbrs) == 0:
             continue
         mask = colors[nbrs] != colors[u]
         if high:
             mask &= rank[nbrs] < rank[u]
+        if ok_v is not None:
+            mask &= ok_v[nbrs]
         cand = nbrs[mask]
         ctx.op(u, len(nbrs))
         if len(cand) == 0:
@@ -241,8 +264,13 @@ def _extend_with_graph(
     rank: Optional[np.ndarray],
     record: bool,
     ctx: ExecutionContext,
+    ok_w: Optional[np.ndarray] = None,
 ) -> PathTable:
-    """EdgeJoin with the data graph (Procedure 1 inner loop)."""
+    """EdgeJoin with the data graph (Procedure 1 inner loop).
+
+    ``ok_w`` is the label-compatibility mask of the query node the new
+    vertex maps to (labeled counting).
+    """
     out = PathTable(table.record_labels)
     add = out.add
     for (u, v, extras, sig), cnt in table.items():
@@ -254,6 +282,8 @@ def _extend_with_graph(
         mask = ((sig >> colors[nbrs]) & 1) == 0
         if high:
             mask &= rank[nbrs] < rank[u]
+        if ok_w is not None:
+            mask &= ok_w[nbrs]
         cand = nbrs[mask]
         for w in cand:
             w = int(w)

@@ -1,0 +1,62 @@
+"""Label-compatibility masks — the bridge from vertex labels to the DP.
+
+A *labeled* query constrains each query node to data vertices carrying
+the same integer label.  Both the dict kernels
+(:mod:`repro.counting.kernels`) and the vectorized kernels
+(:mod:`repro.counting.vectorized`) consume the constraint in the same
+shape: one boolean mask per query node over the data vertices, applied
+wherever a kernel draws *new* candidate vertices from the data graph
+(path seeding and graph-edge extension).  Child projection tables are
+already label-filtered when they are built, so joins against them need
+no further masking — which is why labeled counting stays bit-identical
+across ``ps``/``ps-vec``/``ps-dist``: the arithmetic is untouched, only
+the candidate sets shrink.
+
+Masks for equal labels are shared (one ``glabels == lab`` comparison per
+distinct label, not per query node).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Mapping, Optional
+
+import numpy as np
+
+from ..graph.graph import Graph
+from ..query.query import QueryGraph
+
+__all__ = ["label_masks", "label_masks_from_arrays"]
+
+Node = Hashable
+
+
+def label_masks_from_arrays(
+    glabels: Optional[np.ndarray], qlabels: Optional[Mapping[Node, int]]
+) -> Optional[Dict[Node, np.ndarray]]:
+    """``{query node: boolean mask over data vertices}`` or ``None``.
+
+    ``None`` query labels mean unlabeled counting (no masks, whatever the
+    graph carries).  A labeled query over an unlabeled graph is a type
+    error — there is nothing to match the constraint against.
+    """
+    if qlabels is None:
+        return None
+    if glabels is None:
+        raise ValueError(
+            "labeled query requires a labeled data graph (Graph(labels=...))"
+        )
+    per_label: Dict[int, np.ndarray] = {}
+    masks: Dict[Node, np.ndarray] = {}
+    for node, lab in qlabels.items():
+        lab = int(lab)
+        mask = per_label.get(lab)
+        if mask is None:
+            mask = glabels == lab
+            per_label[lab] = mask
+        masks[node] = mask
+    return masks
+
+
+def label_masks(g: Graph, query: QueryGraph) -> Optional[Dict[Node, np.ndarray]]:
+    """Label-compatibility masks of ``query`` against ``g`` (see module doc)."""
+    return label_masks_from_arrays(g.labels, query.labels)

@@ -26,6 +26,7 @@ from ..distributed.runtime import ExecutionContext, sequential_context
 from ..graph.graph import Graph
 from ..tables.projection import BinaryTable, UnaryTable
 from .kernels import build_path_table, merge_cycle_paths, oriented_binary
+from .labels import label_masks
 
 __all__ = ["solve_plan", "BlockSolver", "METHODS", "VEC_METHOD", "ALL_METHODS"]
 
@@ -77,6 +78,7 @@ class BlockSolver:
         ctx: ExecutionContext,
         method: str,
         k: int,
+        vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
     ) -> None:
         if method not in METHODS:
             raise ValueError(f"method must be one of {METHODS}, got {method!r}")
@@ -85,6 +87,8 @@ class BlockSolver:
         self.ctx = ctx
         self.method = method
         self.k = k
+        #: label-compatibility masks for labeled queries (None = unlabeled)
+        self.vertex_ok = vertex_ok
         self._solved: Dict[int, Union[UnaryTable, BinaryTable, int]] = {}
         self._tcache: Dict[int, BinaryTable] = {}
         self._block_counter = 0
@@ -127,6 +131,7 @@ class BlockSolver:
             self.ctx,
             high=False,
             stage_prefix=f"{tag}:leaf",
+            vertex_ok=self.vertex_ok,
         )
         out = UnaryTable(a)
         self.ctx.begin_stage(f"{tag}:leaf-project")
@@ -231,6 +236,7 @@ class BlockSolver:
                 high=high,
                 record_set=record_set,
                 stage_prefix=f"{tag}:p",
+                vertex_ok=self.vertex_ok,
             )
             tminus = build_path_table(
                 self.g,
@@ -242,6 +248,7 @@ class BlockSolver:
                 high=high,
                 record_set=record_set,
                 stage_prefix=f"{tag}:m",
+                vertex_ok=self.vertex_ok,
             )
             merge_cycle_paths(
                 tplus,
@@ -284,6 +291,10 @@ def solve_plan(
     ``method="ps-vec"`` the whole solve is delegated to the vectorized
     kernels (:mod:`repro.counting.vectorized`); ``ctx`` is ignored there
     because batched table operations cannot attribute work to ranks.
+
+    Labeled queries (``plan.query.labels``) count only matches mapping
+    each query node to a data vertex with the same label; ``g`` must then
+    carry a label array.
     """
     if method == VEC_METHOD:
         from .vectorized import solve_plan_vectorized
@@ -298,23 +309,28 @@ def solve_plan(
         raise ValueError("coloring must assign a color to every data vertex")
     if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
         raise ValueError(f"colors must lie in [0, {kc})")
+    vertex_ok = label_masks(g, plan.query)
     if ctx is None:
         ctx = sequential_context(g)
 
     root = plan.root
     if root.kind == SINGLETON:
         if root.node_ann:
-            solver = BlockSolver(g, colors, ctx, method, k)
+            solver = BlockSolver(g, colors, ctx, method, k, vertex_ok=vertex_ok)
             (child,) = root.node_ann.values()
             table = solver.solve(child)
             # Every entry of the root child's table is a complete match; its
             # signature has exactly k (distinct) colors by construction, so
             # summing everything counts the colorful matches.
             return sum(cnt for (_u, _sig), cnt in table.items())
+        if vertex_ok:
+            # A single-node labeled query: count label-compatible vertices.
+            (mask,) = vertex_ok.values()
+            return int(mask.sum())
         # A single-node query: every vertex is a colorful match.
         return g.n
 
-    solver = BlockSolver(g, colors, ctx, method, k)
+    solver = BlockSolver(g, colors, ctx, method, k, vertex_ok=vertex_ok)
     result = solver.solve(root)
     assert isinstance(result, int), "root cycle must produce a scalar"
     return result

@@ -45,10 +45,17 @@ def count_colorful_treelet(
 ) -> int:
     """Colorful matches of a *tree* query via the treelet DP.
 
-    Raises ``ValueError`` for non-tree queries (use PS/DB for those).
+    Raises ``ValueError`` for non-tree queries (use PS/DB for those) and
+    for vertex-labeled queries — this DP carries no label masks, so
+    silently returning the unlabeled count would be wrong; the PS family
+    (``ps``/``ps-vec``/``ps-dist``) handles labeled trees.
     """
     if not is_tree(query):
         raise ValueError("treelet DP requires an acyclic connected query")
+    if query.labels is not None:
+        raise ValueError(
+            "treelet DP does not support labeled queries; use ps/ps-vec/ps-dist"
+        )
     colors_arr = np.asarray(colors, dtype=np.int64)
     if len(colors_arr) != g.n:
         raise ValueError("coloring must cover every data vertex")

@@ -46,6 +46,7 @@ from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
+from .labels import label_masks
 # the cycle-walk order must stay in lockstep with the dict solver for the
 # ps/ps-vec bit-identical invariant to hold — share one implementation
 from .solver import _ccw_labels, _cw_labels
@@ -233,6 +234,8 @@ def _init_from_graph(
     colors: np.ndarray,
     bit: np.ndarray,
     start_mask: Optional[np.ndarray] = None,
+    ok_u: Optional[np.ndarray] = None,
+    ok_v: Optional[np.ndarray] = None,
 ) -> VecPathTable:
     """Seed cnt(u, v, {χu, χv}) = 1 from every directed edge, batched.
 
@@ -240,12 +243,18 @@ def _init_from_graph(
     rows arrive already sorted by ``(u, v)`` because CSR slices are sorted.
     With ``start_mask`` only edges whose start vertex is in the mask are
     seeded — the shard-restricted sweep used by the ``ps-dist`` executor.
+    ``ok_u``/``ok_v`` are the label-compatibility masks of the path's
+    first two query nodes (labeled counting).
     """
     indptr, indices = g.to_csr()
     u = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(indptr))
     keep = colors[u] != colors[indices]
     if start_mask is not None:
         keep &= start_mask[u]
+    if ok_u is not None:
+        keep &= ok_u[u]
+    if ok_v is not None:
+        keep &= ok_v[indices]
     u, v = u[keep], indices[keep]
     return VecPathTable(u, v, bit[u] | bit[v], np.ones(u.size, dtype=np.int64))
 
@@ -261,10 +270,15 @@ def _init_from_child(
 
 
 def _extend_with_graph(
-    g: Graph, colors: np.ndarray, bit: np.ndarray, t: VecPathTable
+    g: Graph,
+    colors: np.ndarray,
+    bit: np.ndarray,
+    t: VecPathTable,
+    ok_w: Optional[np.ndarray] = None,
 ) -> VecPathTable:
     """EdgeJoin with the data graph: extend every path by every neighbour
-    of its end vertex whose color is unused, in one batched gather."""
+    of its end vertex whose color is unused, in one batched gather.
+    ``ok_w`` masks the new vertex by label compatibility."""
     if len(t) == 0:
         return _empty_path()
     indptr, indices = g.to_csr()
@@ -272,6 +286,8 @@ def _extend_with_graph(
     w = indices[pos]
     sig = t.sig[rep]
     keep = ((sig >> colors[w]) & 1) == 0
+    if ok_w is not None:
+        keep &= ok_w[w]
     rep, w, sig = rep[keep], w[keep], sig[keep]
     (u, v, sig), cnt = _group_sum((t.u[rep], w, sig | bit[w]), t.cnt[rep])
     return VecPathTable(u, v, sig, cnt)
@@ -376,11 +392,14 @@ class VectorizedSolver:
         colors: np.ndarray,
         k: int,
         start_mask: Optional[np.ndarray] = None,
+        vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
     ) -> None:
         self.g = g
         self.colors = colors
         self.k = k
         self.start_mask = start_mask
+        #: label-compatibility masks for labeled queries (None = unlabeled)
+        self.vertex_ok = vertex_ok or {}
         #: per-color signature bits, indexed by data vertex color
         self.bit = np.int64(1) << colors
         self._solved: Dict[int, object] = {}
@@ -441,9 +460,14 @@ class VectorizedSolver:
     ) -> VecPathTable:
         """Array analogue of ``build_path_table`` (PS: no pruning/extras)."""
         colors, bit = self.colors, self.bit
+        vertex_ok = self.vertex_ok
         child0 = edge_tables.get(0)
         if child0 is None:
-            t = _init_from_graph(self.g, colors, bit, self.start_mask)
+            t = _init_from_graph(
+                self.g, colors, bit, self.start_mask,
+                ok_u=vertex_ok.get(path_labels[0]),
+                ok_v=vertex_ok.get(path_labels[1]),
+            )
         else:
             t = _init_from_child(child0, self.start_mask)
         if path_labels[0] in node_tables:
@@ -453,7 +477,9 @@ class VectorizedSolver:
         for j in range(1, len(path_labels) - 1):
             child = edge_tables.get(j)
             if child is None:
-                t = _extend_with_graph(self.g, colors, bit, t)
+                t = _extend_with_graph(
+                    self.g, colors, bit, t, ok_w=vertex_ok.get(path_labels[j + 1])
+                )
             else:
                 t = _extend_with_child(bit, t, child)
             nxt = path_labels[j + 1]
@@ -557,16 +583,20 @@ def solve_plan_vectorized(
         raise ValueError("coloring must assign a color to every data vertex")
     if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
         raise ValueError(f"colors must lie in [0, {kc})")
+    vertex_ok = label_masks(g, plan.query)
 
     root = plan.root
     if root.kind == SINGLETON:
         if root.node_ann:
-            solver = VectorizedSolver(g, colors, k)
+            solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok)
             (child,) = root.node_ann.values()
             return solver.solve(child).total()
+        if vertex_ok:
+            (mask,) = vertex_ok.values()
+            return int(mask.sum())
         return g.n
 
-    solver = VectorizedSolver(g, colors, k)
+    solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok)
     result = solver.solve(root)
     assert isinstance(result, int), "root cycle must produce a scalar"
     return result
@@ -579,6 +609,7 @@ def solve_block_shard(
     k: int,
     children: Sequence[Tuple[Block, object]] = (),
     start_mask: Optional[np.ndarray] = None,
+    vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
 ) -> object:
     """Solve one block's table restricted to ``start_mask`` start vertices.
 
@@ -589,9 +620,11 @@ def solve_block_shard(
     ``VecBinaryTable`` shard, or a partial ``int`` for a 0-boundary root
     cycle.  Combining the shards of all masks of a partition reproduces
     the sequential table bit for bit (integer sums are exact and every
-    path row lives in exactly one shard).
+    path row lives in exactly one shard).  ``vertex_ok`` carries the
+    label-compatibility masks of a labeled query (orthogonal to the
+    shard mask: labels filter per query node, shards per start vertex).
     """
-    solver = VectorizedSolver(g, colors, k, start_mask=start_mask)
+    solver = VectorizedSolver(g, colors, k, start_mask=start_mask, vertex_ok=vertex_ok)
     for child, table in children:
         solver.inject(child, table)
     return solver.solve(block)

@@ -32,6 +32,20 @@ class Plan:
         self.query = query
         self.root = root
 
+    def with_query(self, query: QueryGraph) -> "Plan":
+        """This plan re-rooted on ``query`` (same structure, e.g. new labels).
+
+        Plans are purely topological, but the solvers read vertex-label
+        masks off ``plan.query`` — so a plan built for an unlabeled query
+        must be re-rooted before solving its labeled twin.  The new query
+        must have exactly the original's nodes and edges.
+        """
+        if set(query.nodes()) != set(self.query.nodes()) or set(
+            map(frozenset, query.edges())
+        ) != set(map(frozenset, self.query.edges())):
+            raise ValueError("plan was built for a structurally different query")
+        return Plan(query, self.root)
+
     # ------------------------------------------------------------------
     def blocks(self) -> List[Block]:
         """All blocks, bottom-up (children before parents)."""

@@ -44,6 +44,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..counting.labels import label_masks_from_arrays
 from ..counting.vectorized import (
     MAX_COLORS_VEC,
     VecBinaryTable,
@@ -77,18 +78,24 @@ class _ShardGraph:
     """Zero-copy CSR view over the shared-memory adjacency arrays.
 
     Quacks enough like :class:`repro.graph.graph.Graph` for the
-    vectorized kernels (``n``, ``degrees``, ``to_csr``) without ever
-    copying ``indptr``/``indices`` out of shared memory.
+    vectorized kernels (``n``, ``degrees``, ``to_csr``, ``labels``)
+    without ever copying ``indptr``/``indices`` out of shared memory.
     """
 
-    __slots__ = ("n", "m", "indptr", "indices", "degrees")
+    __slots__ = ("n", "m", "indptr", "indices", "degrees", "labels")
 
-    def __init__(self, indptr: np.ndarray, indices: np.ndarray) -> None:
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        labels: Optional[np.ndarray] = None,
+    ) -> None:
         self.n = len(indptr) - 1
         self.m = len(indices) // 2
         self.indptr = indptr
         self.indices = indices
         self.degrees = np.diff(indptr)
+        self.labels = labels
 
     def to_csr(self) -> CSR:
         return CSR(self.indptr, self.indices)
@@ -188,12 +195,14 @@ def _worker_main(
     shm_names: Sequence[str],
     n: int,
     nnz: int,
+    has_labels: bool,
 ) -> None:  # pragma: no cover - exercised in subprocesses
     """Worker loop: solve shard-restricted blocks on request.
 
     Protocol (master → worker): ``("plan", key, plan)`` registers a plan,
-    ``("trial", key, k)`` starts a trial (fresh solver over the current
-    shared coloring), ``("block", idx)`` solves one block's shard,
+    ``("trial", key, k, qlabels)`` starts a trial (fresh solver over the
+    current shared coloring; ``qlabels`` is the labeled query's node →
+    label map, or ``None``), ``("block", idx)`` solves one block's shard,
     ``("table", idx, payload)`` installs a combined child table,
     ``("stop",)`` exits.  Worker → master: ``("shard", idx, payload,
     cpu_seconds, wall_seconds)`` or ``("error", exception)``.
@@ -202,7 +211,10 @@ def _worker_main(
     indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=shms[0].buf)
     indices = np.ndarray((nnz,), dtype=np.int64, buffer=shms[1].buf)
     colors = np.ndarray((n,), dtype=np.int64, buffer=shms[2].buf)
-    g = _ShardGraph(indptr, indices)
+    labels = (
+        np.ndarray((n,), dtype=np.int64, buffer=shms[3].buf) if has_labels else None
+    )
+    g = _ShardGraph(indptr, indices, labels)
     start_mask = make_partition(n, nranks, strategy).owners == rank
     plans: Dict[int, List] = {}
     blocks: Optional[List] = None
@@ -225,7 +237,13 @@ def _worker_main(
                     plans[msg[1]] = msg[2].blocks()
                 elif op == "trial":
                     blocks = plans[msg[1]]
-                    solver = VectorizedSolver(g, colors, msg[2], start_mask=start_mask)
+                    solver = VectorizedSolver(
+                        g,
+                        colors,
+                        msg[2],
+                        start_mask=start_mask,
+                        vertex_ok=label_masks_from_arrays(labels, msg[3]),
+                    )
                     pending_error = None  # stale failures die with their trial
                 elif op == "block":
                     if pending_error is not None:
@@ -331,11 +349,17 @@ class ShardedExecutor:
         ctx = mp.get_context(start_method)
 
         indptr, indices = graph.to_csr()
+        has_labels = graph.labels is not None
         shm_ip, _ = _share_array(indptr)
         shm_ix, _ = _share_array(indices)
         shm_co, colors_view = _share_array(np.zeros(graph.n, dtype=np.int64))
         self._shms = [shm_ip, shm_ix, shm_co]
         self._colors_view = colors_view
+        if has_labels:
+            # the per-vertex label segment rides alongside the coloring:
+            # written once here, read-only in every worker
+            shm_lb, _ = _share_array(graph.labels)
+            self._shms.append(shm_lb)
 
         names = [s.name for s in self._shms]
         self._conns = []
@@ -345,7 +369,10 @@ class ShardedExecutor:
                 parent, child = ctx.Pipe()
                 proc = ctx.Process(
                     target=_worker_main,
-                    args=(child, rank, nranks, strategy, names, graph.n, len(indices)),
+                    args=(
+                        child, rank, nranks, strategy, names,
+                        graph.n, len(indices), has_labels,
+                    ),
                     daemon=True,
                 )
                 proc.start()
@@ -460,6 +487,11 @@ class ShardedExecutor:
             raise ValueError("coloring must assign a color to every data vertex")
         if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
             raise ValueError(f"colors must lie in [0, {kc})")
+        qlabels = plan.query.labels
+        if qlabels is not None and self.graph.labels is None:
+            raise ValueError(
+                "labeled query requires a labeled data graph (Graph(labels=...))"
+            )
 
         with self._run_lock:
             stats = WallStats(self.nranks)
@@ -468,13 +500,19 @@ class ShardedExecutor:
             if root.kind == LEAF:  # pragma: no cover - planner never roots a leaf
                 raise ValueError("plan root must be a cycle or singleton block")
             if root.kind == SINGLETON and not root.node_ann:
+                if qlabels:
+                    # single-node labeled query: count compatible vertices
+                    (lab,) = qlabels.values()
+                    count = int((self.graph.labels == int(lab)).sum())
+                else:
+                    count = self.graph.n
                 stats.wall_seconds = time.perf_counter() - t0
                 self._runs += 1
-                return ShardResult(self.graph.n, stats)
+                return ShardResult(count, stats)
 
             key = self._register_plan(plan)
             self._colors_view[:] = colors
-            self._broadcast(("trial", key, k))
+            self._broadcast(("trial", key, k, qlabels))
 
             blocks = plan.blocks()
             stages = blocks[:-1] if root.kind == SINGLETON else blocks

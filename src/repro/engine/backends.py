@@ -215,8 +215,16 @@ class TreeletBackend(CountingBackend):
     name = "treelet"
 
     def supports(self, query, num_colors=None):
-        """Trees only, and only the paper's exact ``k``-color palette."""
-        return is_tree(query) and (num_colors is None or num_colors == query.k)
+        """Trees only, the paper's exact ``k``-color palette, unlabeled.
+
+        Labeled queries fall through to the PS/DB family (``auto`` then
+        picks ``ps-vec``/``ps-dist``/``db``), which carry label masks.
+        """
+        return (
+            is_tree(query)
+            and (num_colors is None or num_colors == query.k)
+            and query.labels is None
+        )
 
     def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
         """Run the bottom-up treelet DP (plan and ctx are ignored)."""

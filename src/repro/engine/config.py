@@ -17,7 +17,7 @@ given graph (same seeds → bit-identical results).
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Hashable, Mapping, Optional, Tuple
 
 from ..decomposition.tree import Plan
 from ..distributed.runtime import ExecutionContext
@@ -92,6 +92,50 @@ class CountRequest:
     coloring_strategy: Optional[str] = None
     plan: Optional[Plan] = None
     ctx: Optional[ExecutionContext] = None
+    #: optional vertex-label constraint applied to ``query`` at execution
+    #: time.  Accepts the same spellings as the CLI/service surfaces — a
+    #: ``{query node: int}`` mapping or a per-node list in the query's
+    #: deterministic node order — and normalises either to a sorted tuple
+    #: of ``(node, label)`` pairs so requests stay hashable.  ``None``
+    #: keeps the query's own labels (or unlabeled counting if it has none).
+    labels: Optional[Tuple[Tuple[Hashable, int], ...]] = None
+
+    def __post_init__(self) -> None:
+        labels = self.labels
+        if labels is None:
+            return
+        if isinstance(labels, Mapping):
+            mapping = dict(labels)
+        elif isinstance(labels, (list, tuple)):
+            if all(isinstance(e, tuple) and len(e) == 2 for e in labels):
+                mapping = dict(labels)  # already (node, label) pairs
+            else:
+                # per-node list spelling, matched to query node order
+                nodes = self.query.nodes()
+                if len(labels) != len(nodes):
+                    raise ValueError(
+                        f"labels list needs one label per query node "
+                        f"({len(nodes)}), got {len(labels)}"
+                    )
+                mapping = dict(zip(nodes, labels))
+        else:
+            raise ValueError(
+                "labels must be a {node: int} mapping, a per-node list, or "
+                f"(node, label) pairs, got {type(labels).__name__}"
+            )
+        normalized = tuple(
+            sorted(
+                ((node, int(lab)) for node, lab in mapping.items()),
+                key=lambda kv: repr(kv[0]),
+            )
+        )
+        object.__setattr__(self, "labels", normalized)
+
+    def effective_query(self) -> QueryGraph:
+        """``query`` with this request's ``labels`` applied (if any)."""
+        if self.labels is None:
+            return self.query
+        return self.query.with_labels(dict(self.labels))
 
     def resolved(self, config: EngineConfig) -> "CountRequest":
         """This request with every ``None`` field filled from ``config``."""

@@ -146,6 +146,13 @@ class CountingEngine:
         self.stats = EngineStats()
         self._plan_cache: Dict[QueryGraph, Plan] = {}
         self._partition_cache: Dict[Tuple[int, str], Partition] = {}
+        # caller-supplied plans re-rooted on a labeled query, keyed by
+        # (id(original), labels); the original is kept in the value so
+        # its id can never be recycled while the key is live.  Without
+        # this, every labeled request reusing one plan would mint a new
+        # Plan object — which a pooled ShardedExecutor would pin and
+        # re-broadcast to its workers on every call.
+        self._reroot_cache: Dict[Tuple[int, object], Tuple[Plan, Plan]] = {}
         self._executor_cache: Dict[Tuple[int, str], "ShardedExecutor"] = {}
         # engines are shared across threads (the service's job workers):
         # _cache_lock guards the plan/partition caches and the stats
@@ -183,6 +190,32 @@ class CountingEngine:
             self.stats.plan_builds += 1
             self._plan_cache[query] = built
             return built, False
+
+    def _effective_plan(self, plan: Plan, query: QueryGraph) -> Plan:
+        """``plan`` re-rooted on ``query`` when their labels differ.
+
+        The solvers read label masks off ``plan.query``, so a
+        caller-built plan for the unlabeled twin must be re-rooted or
+        request-level labels would be silently ignored.  Re-rooted plans
+        are cached per ``(plan, labels)`` so repeated requests reuse one
+        object (stable ``id()`` for the executor's plan registry).
+        """
+        if plan.query.labels == query.labels:
+            return plan
+        label_key = (
+            tuple(sorted(query.labels.items(), key=lambda kv: repr(kv[0])))
+            if query.labels is not None
+            else None
+        )
+        key = (id(plan), label_key)
+        with self._cache_lock:
+            hit = self._reroot_cache.get(key)
+            if hit is not None and hit[0] is plan:
+                return hit[1]
+        rerooted = plan.with_query(query)
+        with self._cache_lock:
+            hit = self._reroot_cache.setdefault(key, (plan, rerooted))
+        return hit[1]
 
     def partition_for(self, nranks: int, strategy: Optional[str] = None) -> Partition:
         """The cached vertex partition for ``(nranks, strategy)``."""
@@ -257,6 +290,7 @@ class CountingEngine:
         with self._cache_lock:
             self._plan_cache.clear()
             self._partition_cache.clear()
+            self._reroot_cache.clear()
         self.close()
 
     # ------------------------------------------------------------------
@@ -284,6 +318,8 @@ class CountingEngine:
         )
         if backend.needs_plan and plan is None:
             plan, _ = self._plan_for(query)
+        if plan is not None:
+            plan = self._effective_plan(plan, query)
         return backend.count_colorful(
             self.graph, query, colors, plan=plan, ctx=ctx, num_colors=num_colors,
             **self._distributed_extra(backend, self.config.workers),
@@ -335,7 +371,9 @@ class CountingEngine:
 
     # ------------------------------------------------------------------
     def _execute(self, r: CountRequest) -> RunResult:
-        q = r.query
+        # request-level labels specialise the query before planning, so
+        # the plan cache keys labeled and unlabeled variants separately
+        q = r.effective_query()
         if r.trials < 1:
             raise ValueError("need at least one trial")
         k = q.k
@@ -357,6 +395,8 @@ class CountingEngine:
         distributed = backend.distributed
 
         plan, plan_cached = r.plan, r.plan is not None
+        if plan is not None:
+            plan = self._effective_plan(plan, q)
         if plan is None and backend.needs_plan:
             plan, plan_cached = self._plan_for(q)
 

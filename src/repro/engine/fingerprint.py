@@ -26,21 +26,30 @@ __all__ = ["canonical_query", "canonical_request", "request_fingerprint"]
 
 
 def canonical_query(query: QueryGraph) -> Dict[str, object]:
-    """JSON-safe canonical form of a query's *structure*.
+    """JSON-safe canonical form of a query's *structure* (and labels).
 
-    Node labels are mapped to ``0..k-1`` in the query's deterministic
+    Node names are mapped to ``0..k-1`` in the query's deterministic
     node order (sorted by ``repr``), so two structurally identical
-    queries built with different label spellings canonicalise the same
+    queries built with different name spellings canonicalise the same
     way.  The name rides along: it is part of the cached
     :class:`~repro.engine.result.RunResult` payload (``query_name``), so
     requests that differ only in name must not share a cache entry.
+    Vertex labels — which change the counts — are rendered in the same
+    canonical node order (``None`` for unlabeled queries), so a labeled
+    query can never collide with its unlabeled twin.
     """
     relabeled, _ = query.relabel_to_ints()
     edges = sorted(tuple(sorted(e)) for e in relabeled.edges())
+    labels = (
+        [relabeled.labels[i] for i in range(relabeled.k)]
+        if relabeled.labels is not None
+        else None
+    )
     return {
         "name": query.name,
         "k": query.k,
         "edges": [list(e) for e in edges],
+        "labels": labels,
     }
 
 
@@ -74,7 +83,9 @@ def canonical_request(
     resolved = request.resolved(cfg)
     doc: Dict[str, object] = {
         "dataset": dataset,
-        "query": canonical_query(resolved.query),
+        # request-level labels are folded into the canonical query — the
+        # engine executes exactly this effective query
+        "query": canonical_query(resolved.effective_query()),
         "partition_strategy": cfg.partition_strategy,
         "kappa": cfg.kappa,
     }

@@ -51,9 +51,15 @@ class Graph:
         simple).
     """
 
-    __slots__ = ("n", "m", "indptr", "indices", "degrees", "_order_rank", "name")
+    __slots__ = ("n", "m", "indptr", "indices", "degrees", "labels", "_order_rank", "name")
 
-    def __init__(self, n: int, edges: Iterable[Tuple[int, int]], name: str = "") -> None:
+    def __init__(
+        self,
+        n: int,
+        edges: Iterable[Tuple[int, int]],
+        name: str = "",
+        labels: Optional[Iterable[int]] = None,
+    ) -> None:
         if n < 0:
             raise ValueError("vertex count must be non-negative")
         edge_list = self._validate_edges(n, edges)
@@ -62,7 +68,24 @@ class Graph:
         self.name = name
         self.indptr, self.indices = self._build_csr(n, edge_list)
         self.degrees = np.diff(self.indptr).astype(np.int64)
+        self.labels = self._validate_labels(self.n, labels)
         self._order_rank: Optional[np.ndarray] = None
+
+    @staticmethod
+    def _validate_labels(n: int, labels: Optional[Iterable[int]]) -> Optional[np.ndarray]:
+        """Canonicalise an optional vertex-label array to non-negative int64."""
+        if labels is None:
+            return None
+        arr = np.asarray(labels)
+        if arr.shape != (n,):
+            raise ValueError(f"labels must be one integer per vertex ({n}), got shape {arr.shape}")
+        if arr.size and not np.issubdtype(arr.dtype, np.integer):
+            if not np.all(arr == arr.astype(np.int64)):
+                raise ValueError("vertex labels must be integers")
+        arr = arr.astype(np.int64, copy=True)
+        if arr.size and arr.min() < 0:
+            raise ValueError("vertex labels must be non-negative")
+        return arr
 
     # ------------------------------------------------------------------
     # construction helpers
@@ -126,13 +149,20 @@ class Graph:
         return cls(n, np.asarray(edge_array, dtype=np.int64).reshape(-1, 2), name=name)
 
     @classmethod
-    def from_csr(cls, indptr: np.ndarray, indices: np.ndarray, name: str = "") -> "Graph":
+    def from_csr(
+        cls,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        name: str = "",
+        labels: Optional[Iterable[int]] = None,
+    ) -> "Graph":
         """Rebuild a graph from a :class:`CSR` pair (``Graph ↔ CSR`` round trip).
 
         The input must describe a simple undirected graph: every edge in
         both directions, no self loops, sorted slices.  Anything else —
         asymmetric adjacency, duplicates inside a slice, loops — raises
-        ``ValueError``.
+        ``ValueError``.  ``labels`` restores the optional per-vertex label
+        array, completing the labeled-graph round trip.
         """
         indptr = np.asarray(indptr, dtype=np.int64)
         indices = np.asarray(indices, dtype=np.int64)
@@ -141,10 +171,34 @@ class Graph:
             raise ValueError("malformed CSR indptr")
         u = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
         keep = u < indices
-        g = cls(n, np.column_stack((u[keep], indices[keep])), name=name)
+        g = cls(n, np.column_stack((u[keep], indices[keep])), name=name, labels=labels)
         if not (np.array_equal(g.indptr, indptr) and np.array_equal(g.indices, indices)):
             raise ValueError("CSR is not a valid simple undirected adjacency")
         return g
+
+    def with_labels(self, labels: Optional[Iterable[int]]) -> "Graph":
+        """A copy of this graph carrying ``labels`` (``None`` clears them).
+
+        The CSR arrays (and the cached degree order) are shared with the
+        original — labels never force an adjacency rebuild.
+        """
+        g = object.__new__(Graph)
+        g.n, g.m, g.name = self.n, self.m, self.name
+        g.indptr, g.indices, g.degrees = self.indptr, self.indices, self.degrees
+        g._order_rank = self._order_rank
+        g.labels = self._validate_labels(self.n, labels)
+        return g
+
+    @property
+    def labeled(self) -> bool:
+        """Whether this graph carries a per-vertex label array."""
+        return self.labels is not None
+
+    def num_labels(self) -> int:
+        """Size of the label alphabet (``max label + 1``; 0 when unlabeled)."""
+        if self.labels is None or self.labels.size == 0:
+            return 0
+        return int(self.labels.max()) + 1
 
     # ------------------------------------------------------------------
     # basic queries
@@ -227,12 +281,16 @@ class Graph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Graph):
             return NotImplemented
+        if (self.labels is None) != (other.labels is None):
+            return False
         return (
             self.n == other.n
             and self.m == other.m
             and np.array_equal(self.indptr, other.indptr)
             and np.array_equal(self.indices, other.indices)
+            and (self.labels is None or np.array_equal(self.labels, other.labels))
         )
 
     def __hash__(self) -> int:  # graphs are mutable-free; hash by identity data
-        return hash((self.n, self.m, self.indices.tobytes()))
+        label_part = self.labels.tobytes() if self.labels is not None else b""
+        return hash((self.n, self.m, self.indices.tobytes(), label_part))

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import json
 import os
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 from .graph import Graph
 
@@ -35,9 +35,16 @@ def _normalize_edges(pairs: List[Tuple[int, int]]) -> Tuple[List[Tuple[int, int]
 
 
 def write_edge_list(g: Graph, path: str) -> None:
-    """Write ``# n m`` header followed by one ``u v`` pair per line."""
+    """Write ``# n m`` header followed by one ``u v`` pair per line.
+
+    A labeled graph adds one ``# labels l0 l1 ...`` comment line after the
+    header (one integer per vertex, in vertex order) so the label array
+    survives the text round trip.
+    """
     with open(path, "w", encoding="utf-8") as fh:
         fh.write(f"# {g.n} {g.m}\n")
+        if g.labels is not None:
+            fh.write("# labels " + " ".join(str(int(x)) for x in g.labels) + "\n")
         for u, v in g.edges():
             fh.write(f"{u} {v}\n")
 
@@ -53,6 +60,7 @@ def read_edge_list(path: str, name: str = "") -> Graph:
     if not os.path.exists(path):
         raise FileNotFoundError(path)
     n_hint = -1
+    labels: Optional[List[int]] = None
     pairs: List[Tuple[int, int]] = []
     with open(path, "r", encoding="utf-8") as fh:
         for line in fh:
@@ -61,19 +69,24 @@ def read_edge_list(path: str, name: str = "") -> Graph:
                 continue
             if line.startswith("#"):
                 parts = line[1:].split()
-                if n_hint < 0 and len(parts) >= 1 and parts[0].isdigit():
+                if parts and parts[0] == "labels":
+                    labels = [int(x) for x in parts[1:]]
+                elif n_hint < 0 and len(parts) >= 1 and parts[0].isdigit():
                     n_hint = int(parts[0])
                 continue
             a, b = line.split()[:2]
             pairs.append((int(a), int(b)))
     edges, max_id = _normalize_edges(pairs)
     n = n_hint if n_hint >= 0 else max_id + 1
-    return Graph(n, edges, name=name or os.path.basename(path))
+    return Graph(n, edges, name=name or os.path.basename(path), labels=labels)
 
 
 def write_json_graph(g: Graph, path: str) -> None:
-    """Write ``{"name", "n", "edges"}`` as JSON (the service's dataset format)."""
+    """Write ``{"name", "n", "edges"[, "labels"]}`` as JSON (the service's
+    dataset format).  ``labels`` is present only for labeled graphs."""
     doc = {"name": g.name, "n": g.n, "edges": [[int(u), int(v)] for u, v in g.edges()]}
+    if g.labels is not None:
+        doc["labels"] = [int(x) for x in g.labels]
     with open(path, "w", encoding="utf-8") as fh:
         json.dump(doc, fh)
         fh.write("\n")
@@ -90,7 +103,12 @@ def read_json_graph(path: str, name: str = "") -> Graph:
     pairs = [(int(u), int(v)) for u, v in doc.get("edges", [])]
     edges, max_id = _normalize_edges(pairs)
     n = int(doc["n"]) if "n" in doc else max_id + 1
-    return Graph(n, edges, name=name or doc.get("name") or os.path.basename(path))
+    labels = doc.get("labels")
+    if labels is not None:
+        labels = [int(x) for x in labels]
+    return Graph(
+        n, edges, name=name or doc.get("name") or os.path.basename(path), labels=labels
+    )
 
 
 def load_graph_file(path: str, name: str = "") -> Graph:

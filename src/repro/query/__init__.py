@@ -14,11 +14,15 @@ from .library import (
     complete_binary_tree,
     cycle_query,
     diamond,
+    labeled_queries,
+    labeled_query,
     paper_queries,
     paper_query,
     path_query,
+    resolve_query_name,
     satellite,
     star_query,
+    with_random_labels,
 )
 from .query import QueryGraph
 from .treedecomposition import (
@@ -45,6 +49,10 @@ __all__ = [
     "diamond",
     "complete_binary_tree",
     "all_fixture_queries",
+    "labeled_query",
+    "labeled_queries",
+    "resolve_query_name",
+    "with_random_labels",
     "random_series_parallel",
     "random_partial_two_tree",
     "random_cactus",

@@ -15,13 +15,19 @@ __all__ = ["automorphism_count", "matches_to_subgraphs"]
 
 
 def automorphism_count(q: QueryGraph) -> int:
-    """Number of adjacency-preserving permutations of the nodes of ``Q``."""
+    """Number of adjacency-preserving permutations of the nodes of ``Q``.
+
+    For a vertex-labeled query the automorphism must also preserve
+    labels — only label-preserving permutations keep a labeled match a
+    match, so the matches→subgraphs division uses this smaller group.
+    """
     qi, _ = q.relabel_to_ints()
     k = qi.k
     if k == 0:
         return 1
     adj = [set(qi.adj[i]) for i in range(k)]
     degrees = [len(adj[i]) for i in range(k)]
+    labels = [qi.labels[i] for i in range(k)] if qi.labels is not None else [0] * k
     # Order candidates by degree so the search fails fast on mismatches.
     order = sorted(range(k), key=lambda v: -degrees[v])
     mapping: List[Optional[int]] = [None] * k
@@ -35,7 +41,7 @@ def automorphism_count(q: QueryGraph) -> int:
             return
         v = order[idx]
         for cand in range(k):
-            if used[cand] or degrees[cand] != degrees[v]:
+            if used[cand] or degrees[cand] != degrees[v] or labels[cand] != labels[v]:
                 continue
             ok = True
             for w in adj[v]:

@@ -28,6 +28,8 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+import numpy as np
+
 from .query import QueryGraph
 from .treewidth import is_treewidth_at_most_2
 
@@ -41,6 +43,12 @@ __all__ = [
     "diamond",
     "complete_binary_tree",
     "all_fixture_queries",
+    "labeled_query",
+    "labeled_queries",
+    "resolve_query_name",
+    "coerce_node_labels",
+    "MAX_NODE_LABEL",
+    "with_random_labels",
 ]
 
 
@@ -239,6 +247,151 @@ def paper_query(name: str) -> QueryGraph:
 def paper_queries() -> Dict[str, QueryGraph]:
     """All ten Figure 8 queries, keyed by paper name."""
     return {name: paper_query(name) for name in _BUILDERS}
+
+
+# ----------------------------------------------------------------------
+# labeled query library (vertex-labeled motif scanning workload)
+# ----------------------------------------------------------------------
+
+def _labeled(base: QueryGraph, pattern: str, name: str) -> QueryGraph:
+    """``base`` with labels read off ``pattern`` in deterministic node order."""
+    nodes = base.nodes()
+    assert len(pattern) == len(nodes), "label pattern length != k"
+    q = base.with_labels({v: int(c) for v, c in zip(nodes, pattern)})
+    q.name = name
+    return q
+
+
+#: small vertex-labeled templates over the library shapes; the suffix is
+#: the label string in deterministic node order (``query.nodes()``)
+_LABELED_BUILDERS = {
+    # heterogeneous triangle: two label-0 endpoints closing on a label-1 hub
+    "tri-001": lambda: _labeled(cycle_query(3), "001", "tri-001"),
+    # bipartite-style square: labels alternate around the 4-cycle
+    "square-0101": lambda: _labeled(cycle_query(4), "0101", "square-0101"),
+    # diamond with a distinguished chord endpoint
+    "diamond-0011": lambda: _labeled(diamond(), "0011", "diamond-0011"),
+    # labeled path: a 0-1-1-0 chain (protein-interaction style linker)
+    "path4-0110": lambda: _labeled(path_query(4), "0110", "path4-0110"),
+    # labeled star: hub label 1, leaves label 0
+    "star3-1000": lambda: _labeled(star_query(3), "1000", "star3-1000"),
+    # the youtube spam motif with a labeled triangle core
+    "youtube-00101": lambda: _labeled(paper_query("youtube"), "00101", "youtube-00101"),
+}
+
+
+def labeled_query(name: str) -> QueryGraph:
+    """One of the labeled library templates by name."""
+    try:
+        return _LABELED_BUILDERS[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown labeled query {name!r}; choose from {sorted(_LABELED_BUILDERS)}"
+        ) from None
+
+
+def labeled_queries() -> Dict[str, QueryGraph]:
+    """All labeled library templates, keyed by name."""
+    return {name: labeled_query(name) for name in _LABELED_BUILDERS}
+
+
+def resolve_query_name(name: str) -> QueryGraph:
+    """A Figure 8 paper query or a labeled template by name.
+
+    The shared name resolver behind the CLI and the service wire format;
+    an unknown name raises one ``KeyError`` listing *both* namespaces.
+    """
+    if name in _BUILDERS:
+        return paper_query(name)
+    if name in _LABELED_BUILDERS:
+        return labeled_query(name)
+    raise KeyError(
+        f"unknown query {name!r}; choose a Figure 8 name {sorted(_BUILDERS)} "
+        f"or a labeled template {sorted(_LABELED_BUILDERS)}"
+    )
+
+
+#: labels are int64 internally; external label specs are capped well
+#: below that so label arithmetic can never overflow and typos fail loudly
+MAX_NODE_LABEL = 2**31 - 1
+
+
+def _coerce_one_label(node: object, value: object, max_label: int) -> int:
+    """One external label value → bounded non-negative int."""
+    if isinstance(value, bool):
+        raise ValueError(f"bad label for node {node!r}: {value!r} (need int)")
+    try:
+        lab = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(f"bad label for node {node!r}: {value!r} (need int)") from None
+    if isinstance(value, float) and value != lab:
+        raise ValueError(f"bad label for node {node!r}: {value!r} (need int)")
+    if not 0 <= lab <= max_label:
+        raise ValueError(f"label for node {node!r} must be in [0, {max_label}]")
+    return lab
+
+
+def coerce_node_labels(
+    query: QueryGraph, value: object, max_label: int = MAX_NODE_LABEL
+) -> Dict[object, int]:
+    """External label spec → ``{query node: int}`` covering every node.
+
+    The one grammar shared by the CLI and the service wire format: a
+    mapping keyed by node name (matched against ``str(node)``, since
+    JSON object keys are strings) or a sequence with one label per node
+    in the query's deterministic node order.  Raises ``ValueError`` with
+    a client-presentable message; surfaces map it to their own error
+    type (CLI exit 2, HTTP 400).
+    """
+    nodes = query.nodes()
+    if isinstance(value, dict):
+        by_name: Dict[str, object] = {}
+        for n in nodes:
+            key = str(n)
+            if key in by_name:
+                raise ValueError(
+                    f"query node names collide on {key!r}; use the list label form"
+                )
+            by_name[key] = n
+        out: Dict[object, int] = {}
+        for key, lab in value.items():
+            node = by_name.get(str(key))
+            if node is None:
+                raise ValueError(f"label for unknown query node {key!r}")
+            out[node] = _coerce_one_label(key, lab, max_label)
+        missing = sorted(str(n) for n in nodes if n not in out)
+        if missing:
+            raise ValueError(f"labels must cover every query node; missing {missing}")
+        return out
+    if isinstance(value, (list, tuple)):
+        if len(value) != len(nodes):
+            raise ValueError(
+                f"labels list needs one label per query node ({len(nodes)}), "
+                f"got {len(value)}"
+            )
+        return {n: _coerce_one_label(n, lab, max_label) for n, lab in zip(nodes, value)}
+    raise ValueError(
+        f"labels must be a node→label mapping or a per-node list, "
+        f"got {type(value).__name__}"
+    )
+
+
+def with_random_labels(
+    query: QueryGraph, num_labels: int, seed: int = 0
+) -> QueryGraph:
+    """``query`` with deterministic pseudo-random labels in ``[0, num_labels)``.
+
+    The assignment depends only on ``(query structure, num_labels, seed)``
+    — used by the differential test matrix and workload sweeps to build
+    reproducible labeled variants of any query.
+    """
+    if num_labels < 1:
+        raise ValueError("need at least one label class")
+    rng = np.random.default_rng(seed)
+    draws = rng.integers(0, num_labels, size=query.k)
+    return query.with_labels(
+        {v: int(draws[i]) for i, v in enumerate(query.nodes())}
+    )
 
 
 def all_fixture_queries() -> List[QueryGraph]:

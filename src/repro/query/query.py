@@ -8,7 +8,7 @@ annotates and contracts named nodes, mirroring the paper's Figure 2.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Hashable, Iterable, Iterator, List, Mapping, Optional, Set, Tuple
 
 __all__ = ["QueryGraph"]
 
@@ -17,9 +17,22 @@ Edge = Tuple[Node, Node]
 
 
 class QueryGraph:
-    """A small undirected simple query graph over hashable node labels."""
+    """A small undirected simple query graph over hashable node labels.
 
-    def __init__(self, edges: Iterable[Edge], nodes: Iterable[Node] = (), name: str = "") -> None:
+    ``labels`` optionally assigns an integer *vertex label* to **every**
+    query node (``{node: int}``); a labeled query matches only data
+    vertices carrying the same label, so labeled counting is a strict
+    filter over the unlabeled DP.  ``labels=None`` (the default) is the
+    paper's unlabeled setting.
+    """
+
+    def __init__(
+        self,
+        edges: Iterable[Edge],
+        nodes: Iterable[Node] = (),
+        name: str = "",
+        labels: Optional[Mapping[Node, int]] = None,
+    ) -> None:
         self.name = name
         self.adj: Dict[Node, Set[Node]] = {}
         for v in nodes:
@@ -31,6 +44,28 @@ class QueryGraph:
             self.adj.setdefault(b, set())
             self.adj[a].add(b)
             self.adj[b].add(a)
+        self.labels: Optional[Dict[Node, int]] = self._validate_labels(labels)
+
+    def _validate_labels(
+        self, labels: Optional[Mapping[Node, int]]
+    ) -> Optional[Dict[Node, int]]:
+        """Check a label map covers exactly this query's nodes, values int >= 0."""
+        if labels is None:
+            return None
+        out: Dict[Node, int] = {}
+        for node, lab in labels.items():
+            if node not in self.adj:
+                raise ValueError(f"label for unknown query node {node!r}")
+            lab = int(lab)
+            if lab < 0:
+                raise ValueError(f"query labels must be non-negative, got {lab} on {node!r}")
+            out[node] = lab
+        missing = [v for v in self.adj if v not in out]
+        if missing:
+            raise ValueError(
+                f"labels must cover every query node; missing {sorted(map(repr, missing))}"
+            )
+        return out
 
     # ------------------------------------------------------------------
     @property
@@ -79,19 +114,43 @@ class QueryGraph:
         return len(seen) == self.k
 
     # ------------------------------------------------------------------
+    @property
+    def labeled(self) -> bool:
+        """Whether this query constrains data-vertex labels."""
+        return self.labels is not None
+
+    def with_labels(self, labels: Optional[Mapping[Node, int]]) -> "QueryGraph":
+        """A copy of this query carrying ``labels`` (``None`` clears them)."""
+        return QueryGraph(self.edges(), nodes=self.nodes(), name=self.name, labels=labels)
+
     def relabel_to_ints(self) -> Tuple["QueryGraph", Dict[Node, int]]:
-        """Return an integer-labelled copy (0..k-1) plus the mapping used."""
+        """Return an integer-named copy (0..k-1) plus the mapping used."""
         mapping = {v: i for i, v in enumerate(self.nodes())}
         edges = [(mapping[a], mapping[b]) for a, b in self.edges()]
-        return QueryGraph(edges, nodes=range(self.k), name=self.name), mapping
+        labels = (
+            {mapping[v]: lab for v, lab in self.labels.items()}
+            if self.labels is not None
+            else None
+        )
+        return (
+            QueryGraph(edges, nodes=range(self.k), name=self.name, labels=labels),
+            mapping,
+        )
 
     def subgraph(self, keep: Iterable[Node]) -> "QueryGraph":
         keep_set = set(keep)
         edges = [(a, b) for a, b in self.edges() if a in keep_set and b in keep_set]
-        return QueryGraph(edges, nodes=keep_set, name=self.name)
+        labels = (
+            {v: lab for v, lab in self.labels.items() if v in keep_set}
+            if self.labels is not None
+            else None
+        )
+        return QueryGraph(edges, nodes=keep_set, name=self.name, labels=labels)
 
     def copy(self) -> "QueryGraph":
-        return QueryGraph(self.edges(), nodes=self.nodes(), name=self.name)
+        return QueryGraph(
+            self.edges(), nodes=self.nodes(), name=self.name, labels=self.labels
+        )
 
     # ------------------------------------------------------------------
     def degeneracy(self) -> int:
@@ -116,9 +175,20 @@ class QueryGraph:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, QueryGraph):
             return NotImplemented
-        return set(self.nodes()) == set(other.nodes()) and set(
-            map(frozenset, self.edges())
-        ) == set(map(frozenset, other.edges()))
+        return (
+            set(self.nodes()) == set(other.nodes())
+            and set(map(frozenset, self.edges())) == set(map(frozenset, other.edges()))
+            and self.labels == other.labels
+        )
 
     def __hash__(self) -> int:
-        return hash(frozenset(map(frozenset, self.edges())) | frozenset((n,) for n in self.nodes()))
+        label_part = (
+            frozenset(self.labels.items()) if self.labels is not None else None
+        )
+        return hash(
+            (
+                frozenset(map(frozenset, self.edges()))
+                | frozenset((n,) for n in self.nodes()),
+                label_part,
+            )
+        )

@@ -27,7 +27,7 @@ from typing import Dict, List, Optional, Tuple, Union
 from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
 from ..engine.backends import DEFAULT_REGISTRY
 from ..engine.fingerprint import request_fingerprint
-from ..query.library import paper_query
+from ..query.library import MAX_NODE_LABEL, coerce_node_labels, resolve_query_name
 from ..query.query import QueryGraph
 from .cache import ResultCache
 from .jobs import Job, JobQueue, ServiceSaturated, UnknownJobError
@@ -45,7 +45,9 @@ __all__ = [
 
 #: request fields a client may override per call (everything else is
 #: fixed by the service's EngineConfig)
-REQUEST_FIELDS = ("method", "trials", "seed", "num_colors", "workers", "coloring_strategy")
+REQUEST_FIELDS = (
+    "method", "trials", "seed", "num_colors", "workers", "coloring_strategy", "labels",
+)
 
 #: upper bounds on the untrusted per-request knobs — one HTTP client
 #: must not be able to materialize gigabytes of colorings, fork
@@ -53,6 +55,9 @@ REQUEST_FIELDS = ("method", "trials", "seed", "num_colors", "workers", "coloring
 MAX_TRIALS = 1_000
 MAX_WORKERS = 32
 MAX_NUM_COLORS = 64
+#: wire label values share the CLI's cap (well below int64 so label
+#: arithmetic can never overflow and typos fail loudly)
+MAX_LABEL = MAX_NODE_LABEL
 
 
 class BadRequestError(ValueError):
@@ -105,35 +110,64 @@ class CountingService:
     def resolve_query(self, spec: Union[str, dict, QueryGraph]) -> QueryGraph:
         """Turn a wire query spec into a :class:`QueryGraph`.
 
-        A string names one of the ten Figure 8 paper queries; a dict
-        carries explicit structure (``{"edges": [[u, v], ...], "name":
-        ...}``) for ad-hoc queries.
+        A string names one of the ten Figure 8 paper queries or a
+        labeled library template; a dict carries explicit structure
+        (``{"edges": [[u, v], ...], "name": ...}``) for ad-hoc queries.
         """
         if isinstance(spec, QueryGraph):
             return spec
         if isinstance(spec, str):
             try:
-                return paper_query(spec)
+                return resolve_query_name(spec)
             except KeyError as exc:
                 raise UnknownQueryError(str(exc)) from None
         if isinstance(spec, dict):
+            unknown = sorted(set(spec) - {"edges", "name", "labels"})
+            if unknown:
+                # reject rather than drop: a typo'd 'labels' key silently
+                # producing unlabeled counts would be the worst failure mode
+                raise BadRequestError(
+                    f"unknown query spec fields {unknown}; "
+                    "allowed: ['edges', 'labels', 'name']"
+                )
             edges = spec.get("edges")
             if not edges:
                 raise BadRequestError("custom query needs a non-empty 'edges' list")
             try:
                 pairs = [(int(u), int(v)) for u, v in edges]
-                return QueryGraph(pairs, name=str(spec.get("name", "custom")))
+                query = QueryGraph(pairs, name=str(spec.get("name", "custom")))
             except (TypeError, ValueError) as exc:
                 raise BadRequestError(f"bad query edges: {exc}") from None
+            if spec.get("labels") is not None:
+                # labels nested in an ad-hoc query spec; a top-level
+                # request 'labels' field still wins (effective_query)
+                query = query.with_labels(self.coerce_label_spec(query, spec["labels"]))
+            return query
         raise BadRequestError(f"query spec must be a name or edge dict, got {type(spec).__name__}")
+
+    def coerce_label_spec(self, query: QueryGraph, value: object) -> Dict[object, int]:
+        """Wire label spec → ``{query node: int}`` covering every node.
+
+        Two spellings are accepted: a JSON object keyed by node name
+        (``{"0": 1, "1": 0, ...}`` — JSON object keys are strings, so
+        they are matched against ``str(node)``), or a list with one label
+        per node in the query's deterministic node order.  The grammar
+        (and its coercion/bounds discipline) is shared with the CLI via
+        :func:`repro.query.library.coerce_node_labels`.
+        """
+        try:
+            return coerce_node_labels(query, value, max_label=MAX_LABEL)
+        except ValueError as exc:
+            raise BadRequestError(str(exc)) from None
 
     def build_request(self, query: QueryGraph, params: Dict[str, object]) -> CountRequest:
         """Validate wire params and build the resolved :class:`CountRequest`.
 
         Coerces JSON value types (``"2"``/``2.0`` → ``2``, so equivalent
         spellings share a fingerprint) and rejects unknown fields,
-        unknown methods, ``trials < 1`` and ``num_colors < k`` eagerly,
-        so a queued job can only fail for genuinely exceptional reasons.
+        unknown methods, ``trials < 1``, ``num_colors < k`` and malformed
+        label specs eagerly, so a queued job can only fail for genuinely
+        exceptional reasons.
         """
         unknown = sorted(set(params) - set(REQUEST_FIELDS))
         if unknown:
@@ -141,7 +175,12 @@ class CountingService:
                 f"unknown request fields {unknown}; allowed: {sorted(REQUEST_FIELDS)}"
             )
         kwargs: Dict[str, object] = {}
+        labels = params.get("labels")
+        if labels is not None:
+            kwargs["labels"] = self.coerce_label_spec(query, labels)
         for field in REQUEST_FIELDS:
+            if field == "labels":
+                continue
             value = params.get(field)
             if value is None:
                 continue
@@ -204,6 +243,23 @@ class CountingService:
         entry = self.registry.count_request(dataset)
         query = self.resolve_query(query_spec)
         request = self.build_request(query, params)
+        effective = request.effective_query()
+        if effective.labels is not None and entry.graph.labels is None:
+            # fail labeled requests eagerly with a 400, not a queued job
+            # that can only die with a 500
+            raise BadRequestError(
+                f"dataset {dataset!r} carries no vertex labels; labeled "
+                "queries need a labeled dataset"
+            )
+        if request.method != "auto":
+            # surface unsupported query/palette/label combinations as an
+            # eager 400 with the backend's own (accurate) reason — e.g.
+            # treelet rejects labels, ps-vec rejects palettes over 62
+            backend = DEFAULT_REGISTRY.get(request.method)
+            try:
+                backend.check(effective, request.num_colors)
+            except ValueError as exc:
+                raise BadRequestError(str(exc)) from None
         # the generation suffix retires cache entries when a dataset is
         # re-registered under the same name with different contents
         fp = request_fingerprint(

@@ -2,10 +2,37 @@
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 import pytest
 
 from repro.graph import Graph, erdos_renyi
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--update-golden",
+        action="store_true",
+        default=False,
+        help="regenerate the tests/golden/ fixtures instead of asserting them",
+    )
+
+
+def wait_until(predicate, timeout: float = 5.0, interval: float = 0.01) -> bool:
+    """Poll ``predicate`` until it is truthy or ``timeout`` elapses.
+
+    The deflake primitive for timing-sensitive service tests: a fixed
+    ``time.sleep`` picks one magic duration for every machine, while this
+    helper returns as soon as the condition holds and only gives up after
+    a generous deadline (returns False — asserts stay at the call site).
+    """
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return bool(predicate())
 
 
 @pytest.fixture

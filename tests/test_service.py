@@ -32,6 +32,8 @@ from repro.service import (
     UnknownQueryError,
 )
 
+from conftest import wait_until
+
 
 def small_graph(n=50, p=0.12, seed=7, name="er50"):
     return erdos_renyi(n, p, np.random.default_rng(seed), name=name)
@@ -145,7 +147,7 @@ class TestJobQueue:
         release = threading.Event()
         q = JobQueue(workers=1, depth=1)
         blocker = q.submit(Job(release.wait, label="blocker"))
-        time.sleep(0.05)  # let the worker pick the blocker up
+        assert wait_until(lambda: blocker.state == "running")  # worker picked it up
         queued = q.submit(Job(lambda: 1, label="queued"))
         with pytest.raises(ServiceSaturated):
             q.submit(Job(lambda: 2, label="shed"))
@@ -159,12 +161,12 @@ class TestJobQueue:
         release = threading.Event()
         q = JobQueue(workers=1, depth=4)
         blocker = q.submit(Job(release.wait, label="blocker"))
-        time.sleep(0.05)
+        assert wait_until(lambda: blocker.state == "running")
         backlog = [q.submit(Job(lambda: 1)) for _ in range(4)]
         t0 = time.monotonic()
         closer = threading.Thread(target=q.close)
         closer.start()
-        time.sleep(0.2)  # close() must not be stuck behind the blocker
+        # close() must cancel the backlog without waiting on the blocker
         for job in backlog:
             assert job.wait(5.0)
             assert job.state == "failed" and "cancelled" in job.error
@@ -181,7 +183,14 @@ class TestJobQueue:
         jobs = [q.submit(Job(lambda i=i: i)) for i in range(3)]
         for j in jobs:
             assert j.wait(5.0)
-        time.sleep(0.05)  # history trim happens after event.set
+        # history trim happens after event.set — poll until it lands
+        def trimmed() -> bool:
+            try:
+                q.get(jobs[0].id)
+                return False
+            except UnknownJobError:
+                return True
+        assert wait_until(trimmed)
         with pytest.raises(UnknownJobError):
             q.get(jobs[0].id)
         assert q.get(jobs[2].id).result == 2
@@ -194,8 +203,10 @@ class TestJobQueue:
         jobs = [q.submit(Job(lambda i=i: i)) for i in range(5)]
         for j in jobs:
             assert j.wait(5.0)
-        time.sleep(0.05)
-        for j in jobs:  # all younger than the retention window
+        # post-completion bookkeeping settles asynchronously; the jobs
+        # must then all stay pollable (younger than the retention window)
+        assert wait_until(lambda: all(j.state == "done" for j in jobs))
+        for j in jobs:
             assert q.get(j.id).result is not None
         q.close()
 

@@ -11,10 +11,11 @@ repeats from the cache (visible in ``GET /stats``), and shed load with
 from __future__ import annotations
 
 import threading
-import time
 
 import numpy as np
 import pytest
+
+from conftest import wait_until
 
 from repro.engine import CountingEngine, EngineConfig
 from repro.graph.generators import erdos_renyi
@@ -30,8 +31,11 @@ CONFIG = EngineConfig(method="ps-vec", trials=2, seed=0)
 def stack():
     """(service, server, client) booted once for the module."""
     service = CountingService(config=CONFIG, workers=2, queue_depth=16, cache_size=128)
+    g = erdos_renyi(60, 0.12, np.random.default_rng(42), name="er60")
+    service.registry.add("er60", g)
     service.registry.add(
-        "er60", erdos_renyi(60, 0.12, np.random.default_rng(42), name="er60")
+        "er60l",
+        g.with_labels(np.random.default_rng(43).integers(0, 2, g.n)),
     )
     server = make_server(service, port=0)
     thread = serve_forever(server)
@@ -48,9 +52,10 @@ class TestEndpoints:
     def test_healthz_and_datasets(self, stack):
         _, _, client = stack
         health = client.healthz()
-        assert health["ok"] and health["datasets"] == 1
-        (ds,) = client.datasets()
-        assert ds["name"] == "er60" and ds["n"] == 60
+        assert health["ok"] and health["datasets"] == 2
+        by_name = {ds["name"]: ds for ds in client.datasets()}
+        assert set(by_name) == {"er60", "er60l"}
+        assert by_name["er60"]["n"] == 60
 
     def test_count_cold_then_cached(self, stack):
         service, _, client = stack
@@ -121,6 +126,90 @@ class TestWholeQueryLibraryParity:
                 assert result["method"] == direct.method == "ps-vec"
 
 
+class TestLabeledWireFormat:
+    def test_count_with_labels_parity_and_cache_key(self, stack):
+        """POST /count with a label spec == engine.count on the labeled query,
+        and the dict / list label spellings share one cache entry."""
+        service, _, client = stack
+        graph = service.registry.get("er60l").graph
+        base = paper_queries()["glet1"]
+        labels = {str(v): v % 2 for v in base.nodes()}
+        result, cached = client.count("er60l", "glet1", seed=4, labels=labels)
+        assert not cached
+        with CountingEngine(graph, CONFIG) as engine:
+            direct = engine.count(
+                base.with_labels({v: v % 2 for v in base.nodes()}), seed=4
+            )
+        assert result["colorful_counts"] == direct.colorful_counts
+        # list spelling, same fingerprint -> served from cache
+        as_list = [labels[str(v)] for v in base.nodes()]
+        again, cached = client.count("er60l", "glet1", seed=4, labels=as_list)
+        assert cached and again["colorful_counts"] == result["colorful_counts"]
+
+    def test_labeled_library_name_over_the_wire(self, stack):
+        _, _, client = stack
+        result, _ = client.count("er60l", "tri-001", seed=1)
+        assert result["trials"] == CONFIG.trials
+
+    def test_labeled_error_mapping(self, stack):
+        _, _, client = stack
+        for kwargs, status, fragment in (
+            # labeled query, unlabeled dataset
+            (dict(dataset="er60", query="tri-001"), 400, "no vertex labels"),
+            # partial label map
+            (dict(dataset="er60l", query="glet1", labels={"0": 1}), 400, "cover every"),
+            # wrong list arity
+            (dict(dataset="er60l", query="glet1", labels=[0, 1]), 400, "one label per"),
+            # non-integer label
+            (dict(dataset="er60l", query="glet1",
+                  labels={"0": "x", "1": 0, "2": 0, "3": 0}), 400, "need int"),
+            # out-of-range label
+            (dict(dataset="er60l", query="glet1",
+                  labels=[0, 1, 0, 2**40]), 400, "must be in"),
+        ):
+            with pytest.raises(ServiceAPIError) as err:
+                client.count(**kwargs)
+            assert err.value.status == status, kwargs
+            assert fragment in str(err.value), kwargs
+
+    def test_unsupported_method_combinations_answer_400(self, stack):
+        """Requests no backend could ever run are shed eagerly with the
+        backend's own reason, not queued into a 500."""
+        _, _, client = stack
+        with pytest.raises(ServiceAPIError) as err:
+            client.count("er60l", "tri-001", method="treelet")
+        assert err.value.status == 400 and "treelet" in str(err.value)
+        # palette over ps-vec's 62-color cap (but under MAX_NUM_COLORS)
+        with pytest.raises(ServiceAPIError) as err:
+            client.count("er60", "glet1", method="ps-vec", num_colors=63)
+        assert err.value.status == 400 and "ps-vec" in str(err.value)
+
+    def test_labeled_async_job(self, stack):
+        _, _, client = stack
+        job = client.submit("er60l", "square-0101", seed=8)
+        done = client.wait(job["id"], timeout=60.0)
+        assert done["state"] == "done"
+
+    def test_labels_nested_in_custom_query_spec(self, stack):
+        """An ad-hoc query dict may carry its own labels; unknown spec
+        fields are rejected instead of silently dropped."""
+        service, _, client = stack
+        spec = {"edges": [[0, 1], [1, 2], [2, 0]], "labels": [0, 0, 1], "name": "tri"}
+        result, _ = client.count("er60l", spec, seed=2)
+        graph = service.registry.get("er60l").graph
+        from repro.query.query import QueryGraph
+
+        labeled = QueryGraph(
+            [(0, 1), (1, 2), (2, 0)], name="tri", labels={0: 0, 1: 0, 2: 1}
+        )
+        with CountingEngine(graph, CONFIG) as engine:
+            direct = engine.count(labeled, seed=2)
+        assert result["colorful_counts"] == direct.colorful_counts
+        with pytest.raises(ServiceAPIError) as err:
+            client.count("er60l", {"edges": [[0, 1]], "lables": [0, 0]})
+        assert err.value.status == 400 and "unknown query spec fields" in str(err.value)
+
+
 class TestServeCLI:
     def test_run_serve_boots_and_stops(self, tmp_path):
         """`repro-serve` wiring end to end: parse, boot, answer, shut down."""
@@ -153,15 +242,14 @@ class TestServeCLI:
         thread.start()
         try:
             client = ServiceClient(f"http://127.0.0.1:{port}")
-            deadline = time.monotonic() + 10.0
-            while time.monotonic() < deadline:
+
+            def server_up() -> bool:
                 try:
-                    assert client.healthz()["ok"]
-                    break
+                    return bool(client.healthz()["ok"])
                 except OSError:
-                    time.sleep(0.05)
-            else:
-                pytest.fail("server never came up")
+                    return False
+
+            assert wait_until(server_up, timeout=10.0), "server never came up"
             result, _ = client.count("tiny", "glet1")
             assert result["trials"] == 2
             client.close()
@@ -185,10 +273,7 @@ class TestSaturation:
         release = threading.Event()
         try:
             blocker = service.queue.submit(Job(release.wait, label="blocker"))
-            deadline = time.monotonic() + 5.0
-            while blocker.state == "queued" and time.monotonic() < deadline:
-                time.sleep(0.01)
-            assert blocker.state == "running"
+            assert wait_until(lambda: blocker.state == "running")
             filler = service.queue.submit(Job(lambda: None, label="filler"))
             with ServiceClient(server.url) as client:
                 with pytest.raises(SaturatedError) as err:
