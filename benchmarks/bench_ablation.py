@@ -12,7 +12,6 @@
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, dataset
 from repro.decomposition import enumerate_plans, rank_plans

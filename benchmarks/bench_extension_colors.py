@@ -11,8 +11,6 @@ reports relative std and per-trial wall time — the precision/cost
 trade-off that Figure 15's protocol would show under the extension.
 """
 
-import numpy as np
-import pytest
 
 from repro.bench import dataset
 from repro.counting.estimator import normalization_factor

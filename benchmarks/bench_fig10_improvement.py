@@ -11,7 +11,6 @@ skewed pairs, IF grows with ranks, road network favours PS.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, SIM_RANKS_LOW, dataset, geometric_mean
 from repro.counting import count_colorful_ps_vec

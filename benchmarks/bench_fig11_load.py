@@ -6,7 +6,6 @@ improvement in *maximum* load (better balance).  Load = number of
 projection-table operations, exactly what our execution context counts.
 """
 
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, dataset
 from repro.distributed import run_distributed

@@ -10,7 +10,6 @@ rank coarsening.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, SIM_RANKS_LOW, dataset
 from repro.distributed import DEFAULT_KAPPA, run_distributed

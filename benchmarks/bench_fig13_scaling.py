@@ -10,7 +10,6 @@ vertices per simulated rank.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, SIM_RANKS_LOW, dataset
 from repro.counting.estimator import random_coloring

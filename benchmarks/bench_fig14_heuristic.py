@@ -9,7 +9,6 @@ modeled DB makespan; the heuristic's plan is compared to the best plan.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import SIM_RANKS_HIGH, dataset
 from repro.decomposition import enumerate_plans, rank_plans

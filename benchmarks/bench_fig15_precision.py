@@ -10,7 +10,6 @@ fraction-improves-with-trials shape is the target.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import dataset, run_query_grid
 from repro.counting.estimator import EstimateResult

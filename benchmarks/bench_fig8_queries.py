@@ -8,7 +8,6 @@ insignificant amount of running time").
 
 import time
 
-import pytest
 
 from repro.bench import bench_record
 from repro.decomposition import choose_plan, enumerate_plans

@@ -17,7 +17,6 @@ sweep pays off).
 import time
 
 import numpy as np
-import pytest
 
 from repro.bench import bench_record, dataset, geometric_mean
 from repro.counting import count_colorful

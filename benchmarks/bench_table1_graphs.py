@@ -6,7 +6,6 @@ heavy-tailed, road network flat), which drives every later figure.
 """
 
 import numpy as np
-import pytest
 
 from repro.bench import PAPER_TABLE1, dataset, dataset_names
 from repro.graph.degree import zipf_degree_sequence

@@ -11,7 +11,6 @@ sampled graphs of growing size and checks:
 """
 
 import numpy as np
-import pytest
 
 from repro.theory import (
     count_x_paths,

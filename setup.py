@@ -34,8 +34,12 @@ setup(
     license="MIT",
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
     python_requires=">=3.9",
     install_requires=["numpy"],
+    extras_require={
+        "dev": ["pytest>=7", "pytest-benchmark", "pytest-cov", "hypothesis", "ruff", "mypy"],
+    },
     entry_points={
         "console_scripts": [
             "repro-count=repro.cli:main",

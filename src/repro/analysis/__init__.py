@@ -1,0 +1,34 @@
+"""Project-invariant static analysis for the repro stack.
+
+AST-level rules that encode the invariants the repo's correctness
+rests on — invariants a generic linter cannot express:
+
+=======  =========================================================
+RP001    seeded-RNG / wall-clock determinism in counting paths
+RP002    explicit dtype in kernel array constructors
+RP003    lock-guarded attribute discipline (per-class lock maps)
+RP004    package layering contract (module-level import DAG)
+RP005    wire-format round-trip completeness
+RP006    fully annotated public seams (the mypy gate's local half)
+=======  =========================================================
+
+Run ``python -m repro.analysis src benchmarks``; see
+``docs/ANALYSIS.md`` for each rule's rationale and the suppression
+policy.
+"""
+
+from .core import AnalysisConfig, DEFAULT_CONFIG, Finding, WireContract
+from .runner import AnalysisReport, all_rules, collect_files, run_analysis
+from .cli import main
+
+__all__ = [
+    "AnalysisConfig",
+    "AnalysisReport",
+    "DEFAULT_CONFIG",
+    "Finding",
+    "WireContract",
+    "all_rules",
+    "collect_files",
+    "main",
+    "run_analysis",
+]

@@ -1,0 +1,97 @@
+"""``python -m repro.analysis`` — the project's static-analysis gate.
+
+Examples::
+
+    python -m repro.analysis src benchmarks            # the CI gate
+    python -m repro.analysis --format json src         # machine output
+    python -m repro.analysis --rules RP003 src/repro   # one rule only
+    python -m repro.analysis --list-rules
+
+Exit status: 0 clean, 1 findings (or suppression budget exceeded),
+2 usage errors.  Suppress a single line with an inline
+``# repro: allow[<RULE>]`` comment — every suppression counts against
+the committed budget (``--max-suppressions``, default 5) and needs a
+written justification next to it.  See ``docs/ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .core import DEFAULT_CONFIG
+from .runner import all_rules, run_analysis
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-invariant static analysis (determinism, dtype, "
+        "lock, layering, wire-format, typed-seam rules)",
+    )
+    parser.add_argument(
+        "paths", nargs="*", default=["src", "benchmarks"],
+        help="files or directories to scan (default: src benchmarks)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules", default=None, metavar="IDS",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--max-suppressions", type=int, default=DEFAULT_CONFIG.max_suppressions,
+        metavar="N",
+        help="inline-suppression budget for a full run "
+        f"(default: {DEFAULT_CONFIG.max_suppressions})",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print the available rules and exit",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule in all_rules():
+            print(f"{rule.id}  {rule.title}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [str(p) for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {', '.join(missing)}")
+
+    rule_filter = None
+    if args.rules is not None:
+        rule_filter = [r.strip() for r in args.rules.split(",") if r.strip()]
+        known = {rule.id for rule in all_rules()}
+        unknown = sorted(set(rule_filter) - known)
+        if unknown:
+            parser.error(
+                f"unknown rule(s) {', '.join(unknown)}; known: {sorted(known)}"
+            )
+
+    report = run_analysis(
+        paths, rules=rule_filter, max_suppressions=args.max_suppressions
+    )
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        print(report.render_text())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

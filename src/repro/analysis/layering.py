@@ -1,0 +1,163 @@
+"""RP004 — the package layering contract, checked from real imports.
+
+The repo's import DAG (low to high)::
+
+    graph / query / tables                      L0  primitives
+    decomposition / theory /
+      distributed.partition / .runtime          L1  substrate
+    counting                                    L2  kernels
+    distributed (executor, engine, ...)         L3  process sharding
+    engine                                      L4  facade
+    motifs / bench                              L5  applications
+    service                                     L6  long-lived server
+    cli / analysis                              L7  entry points
+
+A module may only import from its own package or an equal-or-lower
+layer.  ``distributed.partition``/``distributed.runtime`` are carved
+into the substrate layer because every counting kernel threads an
+:class:`ExecutionContext` — while the rest of ``distributed`` drives
+the counting kernels and sits above them.
+
+Only **module-level** imports bind layers: a function-body import is
+the sanctioned lazy escape hatch (the deprecated ``counting.api``
+facade and ``bench.serve`` use it deliberately), and imports under
+``if TYPE_CHECKING:`` never execute at runtime.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from .core import AnalysisConfig, FileContext, Finding
+from .rules import Rule
+
+__all__ = ["LayeringRule", "module_parts"]
+
+
+def module_parts(path: str, package: str) -> Optional[List[str]]:
+    """Module path inside ``package`` for a source file, else None.
+
+    ``src/repro/counting/verify.py`` -> ``["counting", "verify"]``;
+    package ``__init__.py`` files map to the package itself.  The last
+    ``/<package>/`` component wins, so scratch trees in tests resolve
+    the same way the real tree does.
+    """
+    parts = path.split("/")
+    if parts and parts[-1].endswith(".py"):
+        parts = parts[:-1] + [parts[-1][: -len(".py")]]
+    try:
+        anchor = len(parts) - 2 - parts[:-1][::-1].index(package)
+    except ValueError:
+        return None
+    mod = parts[anchor + 1:]
+    if mod and mod[-1] == "__init__":
+        mod = mod[:-1]
+    return mod
+
+
+def _is_type_checking_if(node: ast.stmt) -> bool:
+    if not isinstance(node, ast.If):
+        return False
+    test = node.test
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return isinstance(test, ast.Name) and test.id == "TYPE_CHECKING"
+
+
+def _module_level_imports(
+    body: Sequence[ast.stmt],
+) -> Iterator["ast.Import | ast.ImportFrom"]:
+    """Imports that execute at module import time (recursing through
+    try/if/with, skipping function bodies and TYPE_CHECKING blocks)."""
+    for stmt in body:
+        if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+            yield stmt
+        elif _is_type_checking_if(stmt):
+            yield from _module_level_imports(stmt.orelse)
+        elif isinstance(stmt, ast.If):
+            yield from _module_level_imports(stmt.body)
+            yield from _module_level_imports(stmt.orelse)
+        elif isinstance(stmt, ast.Try):
+            yield from _module_level_imports(stmt.body)
+            for handler in stmt.handlers:
+                yield from _module_level_imports(handler.body)
+            yield from _module_level_imports(stmt.orelse)
+            yield from _module_level_imports(stmt.finalbody)
+        elif isinstance(stmt, ast.With):
+            yield from _module_level_imports(stmt.body)
+
+
+class LayeringRule(Rule):
+    """No module-level import may point at a higher layer."""
+
+    id = "RP004"
+    title = "package layering contract"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        return module_parts(path, config.rp004_package) is not None
+
+    def layer(self, parts: Sequence[str], config: AnalysisConfig) -> Optional[int]:
+        if not parts:
+            return None
+        if len(parts) >= 2:
+            key = parts[0] + "." + parts[1]
+            if key in config.rp004_layers:
+                return config.rp004_layers[key]
+        return config.rp004_layers.get(parts[0])
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        package = config.rp004_package
+        mod = module_parts(ctx.path, package)
+        if not mod:  # the package root __init__ sits above everything
+            return []
+        src_layer = self.layer(mod, config)
+        if src_layer is None:
+            return []
+        findings: List[Finding] = []
+        for node, target in self._import_targets(ctx, mod, package):
+            if not target or target[0] == mod[0]:
+                continue  # foreign package or intra-package import
+            tgt_layer = self.layer(target, config)
+            if tgt_layer is not None and tgt_layer > src_layer:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"{'.'.join(mod)} (layer {src_layer}) imports "
+                    f"{package}.{'.'.join(target)} (layer {tgt_layer}); "
+                    "higher layers must not be imported at module level",
+                ))
+        return findings
+
+    def _import_targets(
+        self, ctx: FileContext, mod: List[str], package: str
+    ) -> Iterator[Tuple[ast.stmt, List[str]]]:
+        """(import node, target module parts inside the package) pairs."""
+        # the module's own package: __init__ files already had their
+        # trailing component stripped, plain modules drop the file name
+        is_init = ctx.path.endswith("__init__.py")
+        pkg = mod if is_init else mod[:-1]
+        for node in _module_level_imports(ctx.tree.body):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    parts = alias.name.split(".")
+                    if parts[0] == package:
+                        yield node, parts[1:]
+                continue
+            assert isinstance(node, ast.ImportFrom)
+            if node.level:
+                up = node.level - 1
+                if up > len(pkg):
+                    continue  # beyond the scanned root; cannot resolve
+                base = pkg[: len(pkg) - up] if up else list(pkg)
+                if node.module:
+                    base = base + node.module.split(".")
+                for alias in node.names:
+                    yield node, base + [alias.name]
+            else:
+                if not node.module:
+                    continue
+                parts = node.module.split(".")
+                if parts[0] != package:
+                    continue
+                for alias in node.names:
+                    yield node, parts[1:] + [alias.name]

@@ -1,0 +1,354 @@
+"""AST lint rules: determinism, dtype, lock, and annotation discipline.
+
+Each rule is a :class:`Rule` subclass with a stable id (``RP001``...),
+scoped by path fragments from :class:`~repro.analysis.core.AnalysisConfig`
+so the same implementations check the real tree and the test fixtures'
+scratch trees alike.  The layering (RP004) and wire-format (RP005) rules
+live in their own modules — they reason across files, not within one.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .core import AnalysisConfig, FileContext, Finding, dotted_name
+
+__all__ = [
+    "Rule",
+    "DeterminismRule",
+    "DtypeRule",
+    "LockDisciplineRule",
+    "TypedSeamRule",
+    "AST_RULES",
+]
+
+
+class Rule:
+    """One project-invariant checker over a single parsed file."""
+
+    id: str = ""
+    title: str = ""
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        raise NotImplementedError
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx: FileContext, node: ast.AST, message: str) -> Finding:
+        return Finding(
+            rule=self.id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+# ----------------------------------------------------------------------
+# RP001 — determinism
+# ----------------------------------------------------------------------
+
+class DeterminismRule(Rule):
+    """No ambient randomness or wall-clock reads in reproducible paths.
+
+    Every estimate in the repo must be a pure function of its seed: the
+    engine draws colorings from ``np.random.default_rng(seed)`` batches,
+    and the benchmarks publish numbers keyed by seed.  A single bare
+    ``np.random.shuffle`` (process-global state) or ``time.time()``
+    feeding a computation silently breaks run-to-run reproducibility —
+    exactly the class of bug a differential test cannot localise.
+    Timing *measurement* stays legal: ``perf_counter``/``process_time``
+    never feed back into counted values.
+    """
+
+    id = "RP001"
+    title = "seeded-RNG / clock determinism"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        return config.in_scope(path, config.rp001_scopes)
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        np_allowed = set(config.rp001_np_random_allowed)
+        random_allowed = set(config.rp001_random_allowed)
+        banned_clocks = set(config.rp001_banned_time) | set(
+            config.rp001_banned_datetime
+        )
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) >= 3 and parts[0] in ("np", "numpy") and parts[1] == "random":
+                if parts[2] not in np_allowed:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"process-global RNG call {name}(); draw from a "
+                        "seeded np.random.default_rng(...) instead",
+                    ))
+            elif len(parts) == 2 and parts[0] == "random":
+                if parts[1] not in random_allowed:
+                    findings.append(self.finding(
+                        ctx, node,
+                        f"unseeded stdlib RNG call {name}(); use a seeded "
+                        "random.Random(seed) or numpy default_rng",
+                    ))
+            elif name in banned_clocks:
+                findings.append(self.finding(
+                    ctx, node,
+                    f"wall-clock read {name}() in a deterministic path; "
+                    "use time.perf_counter()/process_time() for timing "
+                    "measurement only",
+                ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RP002 — dtype discipline
+# ----------------------------------------------------------------------
+
+class DtypeRule(Rule):
+    """Array constructors in kernel modules must state their dtype.
+
+    The DP tables, CSR arrays and shared-memory segments are all int64
+    by contract (signatures pack into one int64 word; worker processes
+    map segments with a hard-coded dtype).  A dtype-less ``np.zeros``
+    defaults to float64 and a dtype-less ``np.asarray`` inherits
+    whatever the caller passed — either silently changes table
+    arithmetic or corrupts a shared-memory view.  Constructors that
+    *propagate* an existing dtype (``concatenate``, ``*_like``) are
+    exempt by design.
+    """
+
+    id = "RP002"
+    title = "explicit dtype in kernel array constructors"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        return config.in_scope(path, config.rp002_scopes)
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        constructors = dict(config.rp002_constructors)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = dotted_name(node.func)
+            if name is None:
+                continue
+            parts = name.split(".")
+            if len(parts) != 2 or parts[0] not in ("np", "numpy"):
+                continue
+            ctor = parts[1]
+            if ctor not in constructors:
+                continue
+            if any(kw.arg == "dtype" or kw.arg is None for kw in node.keywords):
+                continue  # dtype= keyword, or a **kwargs splat we trust
+            pos = constructors[ctor]
+            if pos is not None and len(node.args) > pos:
+                continue  # dtype passed positionally
+            findings.append(self.finding(
+                ctx, node,
+                f"{name}(...) without an explicit dtype in a kernel "
+                "module; state dtype= (int64 in DP table paths)",
+            ))
+        return findings
+
+
+# ----------------------------------------------------------------------
+# RP003 — lock discipline
+# ----------------------------------------------------------------------
+
+class LockDisciplineRule(Rule):
+    """Guarded attributes may only be touched inside their lock's block.
+
+    The lock map mirrors each class's documented concurrency contract
+    (e.g. ``CountingEngine._cache_lock`` guards the plan/partition/
+    reroot caches and the stats counters).  The check is lexical:
+    ``self.<guarded>`` must appear inside a ``with self.<lock>:`` block
+    in the same method.  ``__init__`` (no concurrent callers exist yet)
+    and ``*_locked``-suffixed helpers (documented caller-holds-lock
+    convention) are exempt.  Closures reset the held-lock set: deferred
+    bodies run after the ``with`` exits.
+    """
+
+    id = "RP003"
+    title = "lock-guarded attribute discipline"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        return bool(config.rp003_lock_maps)
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name in config.rp003_lock_maps:
+                findings.extend(self._check_class(ctx, node, config))
+        return findings
+
+    def _check_class(
+        self, ctx: FileContext, cls: ast.ClassDef, config: AnalysisConfig
+    ) -> List[Finding]:
+        lock_map = config.rp003_lock_maps[cls.name]
+        guard_of: Dict[str, str] = {
+            attr: lock for lock, attrs in lock_map.items() for attr in attrs
+        }
+        lock_names = set(lock_map)
+        findings: List[Finding] = []
+        for item in cls.body:
+            if not isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if item.name in config.rp003_exempt_methods:
+                continue
+            if item.name.endswith(tuple(config.rp003_exempt_suffixes)):
+                continue
+            self._walk(ctx, cls.name, item.body, frozenset(), guard_of,
+                       lock_names, item.name, findings)
+        return findings
+
+    def _walk(
+        self,
+        ctx: FileContext,
+        cls_name: str,
+        body: Sequence[ast.stmt],
+        held: frozenset,
+        guard_of: Dict[str, str],
+        lock_names: Set[str],
+        method: str,
+        findings: List[Finding],
+    ) -> None:
+        for stmt in body:
+            self._visit(ctx, cls_name, stmt, held, guard_of, lock_names,
+                        method, findings)
+
+    def _visit(
+        self,
+        ctx: FileContext,
+        cls_name: str,
+        node: ast.AST,
+        held: frozenset,
+        guard_of: Dict[str, str],
+        lock_names: Set[str],
+        method: str,
+        findings: List[Finding],
+    ) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            acquired = set()
+            for item in node.items:
+                expr = item.context_expr
+                if (
+                    isinstance(expr, ast.Attribute)
+                    and isinstance(expr.value, ast.Name)
+                    and expr.value.id == "self"
+                    and expr.attr in lock_names
+                ):
+                    acquired.add(expr.attr)
+            inner = held | acquired
+            for item in node.items:
+                self._visit(ctx, cls_name, item.context_expr, held, guard_of,
+                            lock_names, method, findings)
+            self._walk(ctx, cls_name, node.body, frozenset(inner), guard_of,
+                       lock_names, method, findings)
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # a deferred body runs after the with-block exits: no lock held
+            children = node.body if isinstance(node.body, list) else [node.body]
+            for child in children:
+                self._visit(ctx, cls_name, child, frozenset(), guard_of,
+                            lock_names, method, findings)
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in guard_of
+            and guard_of[node.attr] not in held
+        ):
+            findings.append(self.finding(
+                ctx, node,
+                f"{cls_name}.{method} touches self.{node.attr} outside "
+                f"'with self.{guard_of[node.attr]}:'",
+            ))
+        for child in ast.iter_child_nodes(node):
+            self._visit(ctx, cls_name, child, held, guard_of, lock_names,
+                        method, findings)
+
+
+# ----------------------------------------------------------------------
+# RP006 — typed public seams
+# ----------------------------------------------------------------------
+
+class TypedSeamRule(Rule):
+    """Functions on the typed seams must be fully annotated.
+
+    This is the mechanical, always-runnable half of the mypy gate
+    (``disallow_untyped_defs`` on the annotated packages): every
+    parameter except ``self``/``cls`` and the return type must carry an
+    annotation in the seam modules.  CI runs mypy for the semantic half;
+    this rule keeps the property enforced even where mypy is not
+    installed.
+    """
+
+    id = "RP006"
+    title = "fully annotated public seams"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        return config.in_scope(path, config.rp006_scopes)
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        findings: List[Finding] = []
+        self._scan(ctx.tree.body, in_class=False, ctx=ctx, findings=findings)
+        return findings
+
+    def _scan(
+        self,
+        body: Sequence[ast.stmt],
+        in_class: bool,
+        ctx: FileContext,
+        findings: List[Finding],
+    ) -> None:
+        for stmt in body:
+            if isinstance(stmt, ast.ClassDef):
+                self._scan(stmt.body, in_class=True, ctx=ctx, findings=findings)
+            elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                missing = self._missing(stmt, in_class)
+                if missing:
+                    findings.append(self.finding(
+                        ctx, stmt,
+                        f"def {stmt.name} missing annotations: "
+                        f"{', '.join(missing)}",
+                    ))
+                self._scan(stmt.body, in_class=False, ctx=ctx, findings=findings)
+            elif isinstance(stmt, (ast.If, ast.Try, ast.With)):
+                for inner in ast.iter_child_nodes(stmt):
+                    if isinstance(inner, ast.stmt):
+                        self._scan([inner], in_class, ctx, findings)
+
+    @staticmethod
+    def _missing(
+        fn: "ast.FunctionDef | ast.AsyncFunctionDef", in_class: bool
+    ) -> List[str]:
+        args = fn.args
+        ordered = list(args.posonlyargs) + list(args.args)
+        if in_class and ordered and ordered[0].arg in ("self", "cls"):
+            ordered = ordered[1:]
+        missing = [a.arg for a in ordered if a.annotation is None]
+        missing += [a.arg for a in args.kwonlyargs if a.annotation is None]
+        if args.vararg is not None and args.vararg.annotation is None:
+            missing.append("*" + args.vararg.arg)
+        if args.kwarg is not None and args.kwarg.annotation is None:
+            missing.append("**" + args.kwarg.arg)
+        if fn.returns is None:
+            missing.append("return")
+        return missing
+
+
+#: single-file AST rules in id order (RP004/RP005 are cross-file)
+AST_RULES: Tuple[Rule, ...] = (
+    DeterminismRule(),
+    DtypeRule(),
+    LockDisciplineRule(),
+    TypedSeamRule(),
+)

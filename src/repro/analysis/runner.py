@@ -1,0 +1,166 @@
+"""Run every rule over a file set, apply suppressions, enforce budget.
+
+The flow: collect ``*.py`` files under the given paths, parse each once,
+run the per-file AST rules and the layering contract, then the
+cross-file wire-format contracts — and finally fold in the inline
+``# repro: allow[<RULE>]`` suppressions.  A suppressed finding is moved
+to the report's ``suppressed`` list (still visible, never fatal); the
+total number of suppression comments in the tree is capped by the
+committed budget so the allowlist cannot silently grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from .core import (
+    AnalysisConfig,
+    DEFAULT_CONFIG,
+    FileContext,
+    Finding,
+    parse_suppressions,
+)
+from .layering import LayeringRule
+from .rules import AST_RULES, Rule
+from .wire import WireFormatRule
+
+__all__ = ["AnalysisReport", "run_analysis", "collect_files", "all_rules"]
+
+#: directories never scanned
+_SKIP_DIRS = {"__pycache__", ".git", ".hypothesis", ".pytest_cache", "results"}
+
+
+def all_rules() -> List[Rule]:
+    """Every shipped rule, in id order."""
+    rules: List[Rule] = list(AST_RULES) + [LayeringRule(), WireFormatRule()]
+    return sorted(rules, key=lambda r: r.id)
+
+
+@dataclass
+class AnalysisReport:
+    """Outcome of one analysis run (text and JSON renderings)."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    files_scanned: int = 0
+    suppression_comments: int = 0
+    max_suppressions: int = DEFAULT_CONFIG.max_suppressions
+
+    @property
+    def ok(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict[str, object]:
+        """The ``--format json`` document (stable keys, JSON-safe)."""
+        counts: Dict[str, int] = {}
+        for f in self.findings:
+            counts[f.rule] = counts.get(f.rule, 0) + 1
+        return {
+            "version": 1,
+            "ok": self.ok,
+            "files_scanned": self.files_scanned,
+            "findings": [f.to_dict() for f in self.findings],
+            "suppressed": [f.to_dict() for f in self.suppressed],
+            "counts_by_rule": counts,
+            "suppressions": {
+                "comments": self.suppression_comments,
+                "budget": self.max_suppressions,
+            },
+        }
+
+    def render_text(self) -> str:
+        lines = [f.render() for f in self.findings]
+        if self.suppressed:
+            lines.append(
+                f"-- {len(self.suppressed)} finding(s) suppressed inline "
+                f"({self.suppression_comments}/{self.max_suppressions} "
+                "budgeted comments)"
+            )
+        status = "clean" if self.ok else f"{len(self.findings)} finding(s)"
+        lines.append(f"repro.analysis: {self.files_scanned} files, {status}")
+        return "\n".join(lines)
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """Every ``*.py`` under ``paths`` (files pass through), sorted."""
+    out: List[Path] = []
+    for path in paths:
+        if path.is_file():
+            out.append(path)
+            continue
+        for candidate in sorted(path.rglob("*.py")):
+            if not any(part in _SKIP_DIRS for part in candidate.parts):
+                out.append(candidate)
+    return out
+
+
+def run_analysis(
+    paths: Sequence[Path],
+    config: Optional[AnalysisConfig] = None,
+    rules: Optional[Sequence[str]] = None,
+    max_suppressions: Optional[int] = None,
+) -> AnalysisReport:
+    """Analyse ``paths`` and return the full report.
+
+    ``rules`` filters by rule id (``["RP001", "RP004"]``); the
+    suppression budget only applies when the run includes every rule
+    (a filtered run is a developer loop, not the committed gate).
+    """
+    cfg = config if config is not None else DEFAULT_CONFIG
+    budget = max_suppressions if max_suppressions is not None else cfg.max_suppressions
+    selected = all_rules()
+    if rules is not None:
+        wanted = set(rules)
+        selected = [r for r in selected if r.id in wanted]
+
+    report = AnalysisReport(max_suppressions=budget)
+    contexts: List[FileContext] = []
+    suppressions: Dict[str, Dict[int, set]] = {}
+    for path in collect_files(paths):
+        try:
+            ctx = FileContext.parse(path)
+        except (SyntaxError, UnicodeDecodeError) as exc:
+            report.findings.append(Finding(
+                rule="RP000", path=path.as_posix(),
+                line=getattr(exc, "lineno", 1) or 1, col=0,
+                message=f"file does not parse: {exc.msg if hasattr(exc, 'msg') else exc}",
+            ))
+            continue
+        contexts.append(ctx)
+        file_suppressions = parse_suppressions(ctx.source)
+        if file_suppressions:
+            suppressions[ctx.path] = file_suppressions
+            report.suppression_comments += len(file_suppressions)
+    report.files_scanned = len(contexts)
+
+    raw: List[Finding] = []
+    wire_rules: List[WireFormatRule] = []
+    for rule in selected:
+        if isinstance(rule, WireFormatRule):
+            wire_rules.append(rule)  # cross-file: run once, after the loop
+            continue
+        for ctx in contexts:
+            if rule.applies(ctx.path, cfg):
+                raw.extend(rule.check(ctx, cfg))
+    for rule in wire_rules:
+        raw.extend(rule.check_files(contexts, cfg))
+
+    for finding in sorted(raw, key=lambda f: f.sort_key):
+        allowed = suppressions.get(finding.path, {}).get(finding.line, set())
+        if finding.rule in allowed:
+            report.suppressed.append(finding)
+        else:
+            report.findings.append(finding)
+
+    if rules is None and report.suppression_comments > budget:
+        report.findings.append(Finding(
+            rule="RP000", path=".", line=1, col=0,
+            message=(
+                f"suppression budget exceeded: {report.suppression_comments} "
+                f"inline allow comments, budget {budget}; remove one or "
+                "raise --max-suppressions deliberately"
+            ),
+        ))
+    return report

@@ -1,0 +1,209 @@
+"""RP005 — wire-format drift between fields and their (de)serializers.
+
+The service's cache keys, HTTP payloads and replay logs all assume the
+round trip ``obj -> to_dict -> from_dict -> obj`` is *complete*: every
+stored field crosses the wire (possibly renamed — ``RunResult.plan``
+flattens onto the ``"plan"`` digest key), and the request fingerprint
+covers every field that shapes the result.  Adding a field to
+:class:`CountRequest` without extending ``canonical_request`` would
+silently serve wrong cache hits; adding one to :class:`RunResult`
+without touching ``from_dict`` would silently drop it on replay.
+
+The check is declarative (:class:`~repro.analysis.core.WireContract`):
+collect the class's public fields (dataclass annotations and
+``self.X = ...`` in ``__init__``), then require each — after renames,
+minus declared non-wire fields — to appear as a string constant in
+every contract function.  Constants referenced through module-level
+tuples (``_FINGERPRINT_FIELDS``) are followed, so the loop-over-fields
+serializer style counts.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .core import AnalysisConfig, FileContext, Finding, WireContract
+from .rules import Rule
+
+__all__ = ["WireFormatRule"]
+
+
+def _class_fields(cls: ast.ClassDef) -> Set[str]:
+    """Public field names: dataclass annotations + __init__ assignments."""
+    fields: Set[str] = set()
+    for stmt in cls.body:
+        if isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if not stmt.target.id.startswith("_"):
+                fields.add(stmt.target.id)
+        elif isinstance(stmt, ast.FunctionDef) and stmt.name == "__init__":
+            for node in ast.walk(stmt):
+                targets: List[ast.expr] = []
+                if isinstance(node, ast.Assign):
+                    targets = list(node.targets)
+                elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                    targets = [node.target]
+                for target in targets:
+                    if (
+                        isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"
+                        and not target.attr.startswith("_")
+                    ):
+                        fields.add(target.attr)
+    return fields
+
+
+def _module_constants(tree: ast.Module) -> Dict[str, Set[str]]:
+    """Module-level name -> string constants in its assigned value."""
+    out: Dict[str, Set[str]] = {}
+    for stmt in tree.body:
+        if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+            target = stmt.targets[0]
+            if isinstance(target, ast.Name):
+                out[target.id] = _string_constants(stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and isinstance(stmt.target, ast.Name):
+            if stmt.value is not None:
+                out[stmt.target.id] = _string_constants(stmt.value)
+    return out
+
+
+def _string_constants(node: ast.AST) -> Set[str]:
+    return {
+        n.value
+        for n in ast.walk(node)
+        if isinstance(n, ast.Constant) and isinstance(n.value, str)
+    }
+
+
+def _function_keys(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    module_constants: Dict[str, Set[str]],
+) -> Set[str]:
+    """String constants a function can touch, following module constants."""
+    keys = _string_constants(fn)
+    for node in ast.walk(fn):
+        if isinstance(node, ast.Name) and node.id in module_constants:
+            keys |= module_constants[node.id]
+    return keys
+
+
+def _find_class(tree: ast.Module, name: str) -> Optional[ast.ClassDef]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _find_function(
+    tree: ast.Module, name: str
+) -> Optional["ast.FunctionDef | ast.AsyncFunctionDef"]:
+    for node in tree.body:
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            if node.name == name:
+                return node
+    return None
+
+
+class WireFormatRule(Rule):
+    """Every stored field must survive the declared wire round trip.
+
+    Cross-file: the rule runs once over the whole scanned file set (the
+    runner invokes :meth:`check_files`), locating each contract's class
+    and external contract functions by path suffix.  A contract whose
+    file is not part of the scan is skipped, so partial-tree runs and
+    test fixtures stay meaningful.
+    """
+
+    id = "RP005"
+    title = "wire-format round-trip completeness"
+
+    def applies(self, path: str, config: AnalysisConfig) -> bool:
+        suffixes = [c.path_suffix for c in config.rp005_contracts]
+        suffixes += [fs for c in config.rp005_contracts for fs, _ in c.extra_functions]
+        return any(path.endswith(suffix) for suffix in suffixes)
+
+    def check(self, ctx: FileContext, config: AnalysisConfig) -> List[Finding]:
+        # single-file entry point kept for uniformity; contracts whose
+        # class lives in this file are checked against this file only
+        return self.check_files([ctx], config)
+
+    def check_files(
+        self, contexts: Sequence[FileContext], config: AnalysisConfig
+    ) -> List[Finding]:
+        findings: List[Finding] = []
+        by_suffix = list(contexts)
+
+        def locate(suffix: str) -> Optional[FileContext]:
+            for candidate in by_suffix:
+                if candidate.path.endswith(suffix):
+                    return candidate
+            return None
+
+        for contract in config.rp005_contracts:
+            ctx = locate(contract.path_suffix)
+            if ctx is None:
+                continue
+            cls = _find_class(ctx.tree, contract.cls)
+            if cls is None:
+                findings.append(Finding(
+                    rule=self.id, path=ctx.path, line=1, col=0,
+                    message=f"contract class {contract.cls} not found",
+                ))
+                continue
+            fields = _class_fields(cls) | set(contract.extra_fields)
+            fields -= set(contract.non_wire)
+            required = {
+                field: contract.renames.get(field, field) for field in sorted(fields)
+            }
+            constants = _module_constants(ctx.tree)
+            checked: List[Tuple[FileContext, ast.AST, str, Set[str]]] = []
+            for method_name in (*contract.serializers, *contract.deserializers):
+                fn = next(
+                    (
+                        stmt for stmt in cls.body
+                        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+                        and stmt.name == method_name
+                    ),
+                    None,
+                )
+                if fn is None:
+                    findings.append(self.finding(
+                        ctx, cls,
+                        f"{contract.cls} is missing contract method "
+                        f"{method_name}()",
+                    ))
+                    continue
+                checked.append(
+                    (ctx, fn, f"{contract.cls}.{method_name}",
+                     _function_keys(fn, constants))
+                )
+            for suffix, fn_name in contract.extra_functions:
+                fn_ctx = locate(suffix)
+                if fn_ctx is None:
+                    continue
+                fn = _find_function(fn_ctx.tree, fn_name)
+                if fn is None:
+                    findings.append(Finding(
+                        rule=self.id, path=fn_ctx.path, line=1, col=0,
+                        message=f"contract function {fn_name}() not found",
+                    ))
+                    continue
+                checked.append(
+                    (fn_ctx, fn, fn_name,
+                     _function_keys(fn, _module_constants(fn_ctx.tree)))
+                )
+            for fn_ctx, fn, label, keys in checked:
+                for field, wire_key in required.items():
+                    if wire_key not in keys:
+                        findings.append(Finding(
+                            rule=self.id,
+                            path=fn_ctx.path,
+                            line=getattr(fn, "lineno", 1),
+                            col=getattr(fn, "col_offset", 0),
+                            message=(
+                                f"{label} drops {contract.cls}.{field} "
+                                f"(expected wire key {wire_key!r})"
+                            ),
+                        ))
+        return findings

@@ -160,7 +160,7 @@ class VecUnaryTable:
 
     __slots__ = ("boundary", "u", "sig", "cnt")
 
-    def __init__(self, boundary: Node, u: np.ndarray, sig: np.ndarray, cnt: np.ndarray):
+    def __init__(self, boundary: Node, u: np.ndarray, sig: np.ndarray, cnt: np.ndarray) -> None:
         self.boundary = boundary
         self.u, self.sig, self.cnt = u, sig, cnt
 
@@ -187,7 +187,7 @@ class VecBinaryTable:
         v: np.ndarray,
         sig: np.ndarray,
         cnt: np.ndarray,
-    ):
+    ) -> None:
         self.boundary = boundary
         self.u, self.v, self.sig, self.cnt = u, v, sig, cnt
 
@@ -211,7 +211,7 @@ class VecPathTable:
 
     __slots__ = ("u", "v", "sig", "cnt")
 
-    def __init__(self, u: np.ndarray, v: np.ndarray, sig: np.ndarray, cnt: np.ndarray):
+    def __init__(self, u: np.ndarray, v: np.ndarray, sig: np.ndarray, cnt: np.ndarray) -> None:
         self.u, self.v, self.sig, self.cnt = u, v, sig, cnt
 
     def total(self) -> int:
@@ -422,7 +422,7 @@ class VectorizedSolver:
         self._solved[id(block)] = result
 
     # ------------------------------------------------------------------
-    def solve(self, block: Block):
+    def solve(self, block: Block) -> object:
         key = id(block)
         if key not in self._solved:
             if block.kind == LEAF:
@@ -434,7 +434,7 @@ class VectorizedSolver:
             self._solved[key] = result
         return self._solved[key]
 
-    def _child_tables(self, block: Block):
+    def _child_tables(self, block: Block) -> Tuple[Dict[Node, object], Dict[int, object]]:
         node_tables = {lab: self.solve(child) for lab, child in block.node_ann.items()}
         edge_tables = {i: self.solve(child) for i, child in block.edge_ann.items()}
         return node_tables, edge_tables
@@ -497,7 +497,7 @@ class VectorizedSolver:
         (u, sig), cnt = _group_sum((pt.u, pt.sig), pt.cnt)
         return VecUnaryTable(a, u, sig, cnt)
 
-    def _solve_cycle(self, block: Block):
+    def _solve_cycle(self, block: Block) -> object:
         nodes = block.nodes
         L = len(nodes)
         boundary = block.boundary
@@ -639,4 +639,4 @@ def count_colorful_ps_vec(
 ) -> int:
     """Colorful matches of ``query`` in ``g`` via the vectorized PS kernels."""
     plan = plan if plan is not None else heuristic_plan(query)
-    return solve_plan_vectorized(plan, g, np.asarray(colors), num_colors=num_colors)
+    return solve_plan_vectorized(plan, g, np.asarray(colors, dtype=np.int64), num_colors=num_colors)

@@ -40,6 +40,7 @@ import threading
 import time
 import weakref
 from multiprocessing import shared_memory
+from multiprocessing.connection import Connection
 from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
@@ -188,7 +189,7 @@ def _attach_shm(name: str) -> shared_memory.SharedMemory:
 
 
 def _worker_main(
-    conn,
+    conn: Connection,
     rank: int,
     nranks: int,
     strategy: str,
@@ -277,7 +278,11 @@ def _worker_main(
 # master
 # ----------------------------------------------------------------------
 
-def _release(procs, conns, shms) -> None:
+def _release(
+    procs: Sequence[mp.Process],
+    conns: Sequence[Connection],
+    shms: Sequence[shared_memory.SharedMemory],
+) -> None:
     """Tear down workers and shared memory (finalizer-safe, idempotent)."""
     for conn in conns:
         try:
@@ -412,7 +417,7 @@ class ShardedExecutor:
     def __enter__(self) -> "ShardedExecutor":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -426,7 +431,7 @@ class ShardedExecutor:
             self.close()
             raise RuntimeError("ps-dist worker died; executor closed") from None
 
-    def _register_plan(self, plan: Plan) -> int:
+    def _register_plan_locked(self, plan: Plan) -> int:
         key = self._plan_keys.get(id(plan))
         if key is None:
             key = len(self._plans)
@@ -510,7 +515,7 @@ class ShardedExecutor:
                 self._runs += 1
                 return ShardResult(count, stats)
 
-            key = self._register_plan(plan)
+            key = self._register_plan_locked(plan)
             self._colors_view[:] = colors
             self._broadcast(("trial", key, k, qlabels))
 
@@ -539,12 +544,15 @@ class ShardedExecutor:
     def describe(self) -> Dict[str, object]:
         """JSON-safe snapshot of this pool (surfaced by the service's
         ``/stats`` endpoint)."""
+        # lock-free snapshot on purpose: _run_lock is held across whole
+        # multi-second counting runs, and the service's /stats endpoint
+        # must answer immediately; a stale integer is acceptable here.
         return {
             "workers": self.nranks,
             "strategy": self.strategy,
             "closed": self.closed,
-            "plans_registered": len(self._plans),
-            "runs": self._runs,
+            "plans_registered": len(self._plans),  # repro: allow[RP003]
+            "runs": self._runs,  # repro: allow[RP003]
         }
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

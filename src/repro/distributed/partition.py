@@ -41,13 +41,13 @@ class Partition:
 
 def block_partition(n: int, nranks: int) -> Partition:
     """Contiguous equal blocks of vertex ids (the paper's choice)."""
-    owners = np.minimum((np.arange(n) * nranks) // max(n, 1), nranks - 1)
+    owners = np.minimum((np.arange(n, dtype=np.int64) * nranks) // max(n, 1), nranks - 1)
     return Partition(nranks, owners)
 
 
 def cyclic_partition(n: int, nranks: int) -> Partition:
     """Round-robin assignment (ablation)."""
-    return Partition(nranks, np.arange(n) % nranks)
+    return Partition(nranks, np.arange(n, dtype=np.int64) % nranks)
 
 
 def hash_partition(n: int, nranks: int, seed: int = 0x9E3779B9) -> Partition:

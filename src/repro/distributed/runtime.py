@@ -94,7 +94,7 @@ class LoadStats:
         return float(sum(s.total_msgs() for s in self.stages))
 
     def per_rank_ops(self) -> np.ndarray:
-        out = np.zeros(self.nranks)
+        out = np.zeros(self.nranks, dtype=np.float64)
         for s in self.stages:
             out += s.ops
         return out
@@ -218,7 +218,7 @@ class WallStats:
         return float(sum(s.cpu.sum() for s in self.stages))
 
     def per_rank_cpu(self) -> np.ndarray:
-        out = np.zeros(self.nranks)
+        out = np.zeros(self.nranks, dtype=np.float64)
         for s in self.stages:
             out += s.cpu
         return out

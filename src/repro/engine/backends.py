@@ -30,7 +30,7 @@ import numpy as np
 
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
-from ..distributed.executor import count_colorful_ps_dist
+from ..distributed.executor import ShardedExecutor, count_colorful_ps_dist
 from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
@@ -129,7 +129,15 @@ class SolverBackend(CountingBackend):
             raise ValueError(f"solver method must be one of {METHODS}")
         self.name = method
 
-    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
         """Solve the plan bottom-up with this backend's join method."""
         plan = plan if plan is not None else heuristic_plan(query)
         return solve_plan(
@@ -155,12 +163,20 @@ class VectorizedBackend(CountingBackend):
     needs_plan = True
     tracks_load = False
 
-    def supports(self, query, num_colors=None):
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Any query, as long as the palette fits one signature word."""
         kc = num_colors if num_colors is not None else query.k
         return kc <= MAX_COLORS_VEC
 
-    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
         """Solve the plan with the vectorized PS kernels (ctx is ignored)."""
         self.check(query, num_colors)
         plan = plan if plan is not None else heuristic_plan(query)
@@ -187,15 +203,23 @@ class DistributedBackend(CountingBackend):
     #: engine dispatch hint: ``workers`` means shard ranks, not trial fan-out
     distributed = True
 
-    def supports(self, query, num_colors=None):
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Same envelope as ``ps-vec``: palette must fit one int64 word."""
         kc = num_colors if num_colors is not None else query.k
         return kc <= MAX_COLORS_VEC
 
     def count_colorful(
-        self, g, query, colors, plan=None, ctx=None, num_colors=None,
-        workers=None, partition="block", executor=None,
-    ):
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+        workers: Optional[int] = None,
+        partition: str = "block",
+        executor: Optional[ShardedExecutor] = None,
+    ) -> int:
         """Run the sharded executor (ctx is ignored; see ``tracks_load``).
 
         ``executor`` reuses a live worker pool (the engine passes its
@@ -214,7 +238,7 @@ class TreeletBackend(CountingBackend):
 
     name = "treelet"
 
-    def supports(self, query, num_colors=None):
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Trees only, the paper's exact ``k``-color palette, unlabeled.
 
         Labeled queries fall through to the PS/DB family (``auto`` then
@@ -226,7 +250,15 @@ class TreeletBackend(CountingBackend):
             and query.labels is None
         )
 
-    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
         """Run the bottom-up treelet DP (plan and ctx are ignored)."""
         self.check(query, num_colors)
         return count_colorful_treelet(g, query, colors)
@@ -237,7 +269,15 @@ class BruteforceBackend(CountingBackend):
 
     name = "bruteforce"
 
-    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
         """Enumerate colorful matches directly (plan and ctx are ignored)."""
         return count_colorful_matches(g, query, colors)
 
@@ -260,13 +300,21 @@ class _FunctionBackend(CountingBackend):
         self._supports = supports
         self.__doc__ = fn.__doc__ or type(self).__doc__
 
-    def supports(self, query, num_colors=None):
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Delegate to the ``supports`` predicate given at registration."""
         if self._supports is None:
             return True
         return self._supports(query, num_colors)
 
-    def count_colorful(self, g, query, colors, plan=None, ctx=None, num_colors=None):
+    def count_colorful(
+        self,
+        g: Graph,
+        query: QueryGraph,
+        colors: Sequence[int],
+        plan: Optional[Plan] = None,
+        ctx: Optional[ExecutionContext] = None,
+        num_colors: Optional[int] = None,
+    ) -> int:
         """Call the wrapped counting function."""
         return self._fn(g, query, colors, plan=plan, ctx=ctx, num_colors=num_colors)
 

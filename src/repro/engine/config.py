@@ -54,7 +54,7 @@ class EngineConfig:
     kappa: float = 0.5
     plan_limit: int = 20000
 
-    def replace(self, **changes) -> "EngineConfig":
+    def replace(self, **changes: object) -> "EngineConfig":
         """A copy of this config with ``changes`` applied."""
         return replace(self, **changes)
 
@@ -146,6 +146,6 @@ class CountRequest:
         }
         return replace(self, **changes) if changes else self
 
-    def replace(self, **changes) -> "CountRequest":
+    def replace(self, **changes: object) -> "CountRequest":
         """A copy of this request with ``changes`` applied."""
         return replace(self, **changes)

@@ -46,7 +46,7 @@ from ..distributed.partition import Partition, make_partition
 from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
-from .backends import BackendRegistry, DEFAULT_REGISTRY
+from .backends import BackendRegistry, DEFAULT_REGISTRY, SolverBackend
 from .config import CountRequest, EngineConfig
 from .result import RunResult
 
@@ -86,13 +86,19 @@ class EngineStats:
 _WORKER_STATE: dict = {}
 
 
-def _init_worker(backend, graph, query, plan, num_colors):  # pragma: no cover
+def _init_worker(
+    backend: SolverBackend,
+    graph: Graph,
+    query: QueryGraph,
+    plan: Optional[Plan],
+    num_colors: Optional[int],
+) -> None:  # pragma: no cover
     _WORKER_STATE.update(
         backend=backend, graph=graph, query=query, plan=plan, num_colors=num_colors
     )
 
 
-def _run_trial(colors) -> int:  # pragma: no cover - runs in subprocess
+def _run_trial(colors: Sequence[int]) -> int:  # pragma: no cover - runs in subprocess
     s = _WORKER_STATE
     return s["backend"].count_colorful(
         s["graph"], s["query"], colors, plan=s["plan"], num_colors=s["num_colors"]
@@ -137,7 +143,7 @@ class CountingEngine:
         graph: Graph,
         config: Optional[EngineConfig] = None,
         registry: Optional[BackendRegistry] = None,
-        **overrides,
+        **overrides: object,
     ) -> None:
         self.graph = graph
         base = config if config is not None else EngineConfig()
@@ -281,7 +287,7 @@ class CountingEngine:
     def __enter__(self) -> "CountingEngine":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def clear_caches(self) -> None:
@@ -325,7 +331,7 @@ class CountingEngine:
             **self._distributed_extra(backend, self.config.workers),
         )
 
-    def _distributed_extra(self, backend, workers: int) -> Dict[str, object]:
+    def _distributed_extra(self, backend: SolverBackend, workers: int) -> Dict[str, object]:
         """Extra kwargs for a distributed backend: shard count, partition
         strategy, and the engine's pooled executor (empty otherwise)."""
         if not backend.distributed:
@@ -336,7 +342,7 @@ class CountingEngine:
             executor=self.executor_for(workers),
         )
 
-    def count(self, request: Union[CountRequest, QueryGraph], **overrides) -> RunResult:
+    def count(self, request: Union[CountRequest, QueryGraph], **overrides: object) -> RunResult:
         """Estimate the match count of one query.
 
         ``request`` is a :class:`CountRequest` or a raw query; keyword
@@ -359,7 +365,7 @@ class CountingEngine:
     def count_many(
         self,
         requests: Iterable[Union[CountRequest, QueryGraph]],
-        **overrides,
+        **overrides: object,
     ) -> List[RunResult]:
         """Run a batch of queries/requests against the shared caches.
 
@@ -472,8 +478,10 @@ class CountingEngine:
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._cache_lock:
+            plans_cached = len(self._plan_cache)
         return (
             f"CountingEngine({self.graph.name or 'graph'!s}, n={self.graph.n}, "
             f"m={self.graph.m}, method={self.config.method!r}, "
-            f"plans_cached={len(self._plan_cache)})"
+            f"plans_cached={plans_cached})"
         )

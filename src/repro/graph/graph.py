@@ -76,7 +76,9 @@ class Graph:
         """Canonicalise an optional vertex-label array to non-negative int64."""
         if labels is None:
             return None
-        arr = np.asarray(labels)
+        # input validation must see the caller's own dtype (a float array
+        # with fractional labels has to be rejected, not silently cast)
+        arr = np.asarray(labels)  # repro: allow[RP002]
         if arr.shape != (n,):
             raise ValueError(f"labels must be one integer per vertex ({n}), got shape {arr.shape}")
         if arr.size and not np.issubdtype(arr.dtype, np.integer):
@@ -98,7 +100,9 @@ class Graph:
         numpy reductions, with the first offending edge reported exactly
         like the historical per-edge loop did.
         """
-        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)
+        # dtype-free on purpose: shape/range validation below must inspect
+        # the edges as the caller provided them before the int64 cast
+        arr = np.asarray(list(edges) if not isinstance(edges, np.ndarray) else edges)  # repro: allow[RP002]
         if arr.size == 0:
             return np.empty((0, 2), dtype=np.int64)
         if arr.ndim != 2 or arr.shape[1] != 2:
@@ -246,9 +250,9 @@ class Graph:
         array is computed once and cached.
         """
         if self._order_rank is None:
-            order = np.lexsort((np.arange(self.n), self.degrees))
+            order = np.lexsort((np.arange(self.n, dtype=np.int64), self.degrees))
             rank = np.empty(self.n, dtype=np.int64)
-            rank[order] = np.arange(self.n)
+            rank[order] = np.arange(self.n, dtype=np.int64)
             self._order_rank = rank
         return self._order_rank
 

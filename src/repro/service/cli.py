@@ -77,7 +77,7 @@ def run_serve(
         return 2
     stop = stop if stop is not None else threading.Event()
 
-    def _shutdown(signum, _frame) -> None:  # pragma: no cover - signal path
+    def _shutdown(signum: int, _frame: object) -> None:  # pragma: no cover - signal path
         print(f"[repro-serve] signal {signum}: shutting down", flush=True)
         stop.set()
 

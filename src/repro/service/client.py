@@ -87,7 +87,7 @@ class ServiceClient:
     def __enter__(self) -> "ServiceClient":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     # ------------------------------------------------------------------
@@ -101,14 +101,14 @@ class ServiceClient:
         return self._request("GET", "/datasets")["datasets"]
 
     def count(
-        self, dataset: str, query: Union[str, dict], **params
+        self, dataset: str, query: Union[str, dict], **params: object
     ) -> Tuple[dict, bool]:
         """Synchronous count: ``(result_dict, served_from_cache)``."""
         body = {"dataset": dataset, "query": query, **params}
         doc = self._request("POST", "/count", body)
         return doc["result"], bool(doc["cached"])
 
-    def submit(self, dataset: str, query: Union[str, dict], **params) -> dict:
+    def submit(self, dataset: str, query: Union[str, dict], **params: object) -> dict:
         """Asynchronous count: returns the job dict to poll by ``id``."""
         body = {"dataset": dataset, "query": query, **params}
         return self._request("POST", "/jobs", body)["job"]

@@ -54,7 +54,7 @@ class _Handler(BaseHTTPRequestHandler):
     def service(self) -> CountingService:
         return self.server.service  # type: ignore[attr-defined]
 
-    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+    def log_message(self, fmt: str, *args: object) -> None:  # noqa: A003
         if self.server.verbose:  # type: ignore[attr-defined]
             super().log_message(fmt, *args)
 

@@ -231,15 +231,19 @@ class CountingService:
                 self._inflight.pop(fp, None)
 
     def _admit(
-        self, dataset: str, query_spec, params: Dict[str, object]
+        self,
+        dataset: str,
+        query_spec: Union[str, dict, QueryGraph],
+        params: Dict[str, object],
     ) -> Tuple[Optional[RunResult], Optional[Job], str]:
         """Cache lookup → in-flight join → queue submit, in that order.
 
         Returns ``(result, job, fingerprint)`` where exactly one of
         ``result`` (cache hit) and ``job`` (to wait on / poll) is set.
         """
-        if self._closed:
-            raise RuntimeError("service is closed")
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
         entry = self.registry.count_request(dataset)
         query = self.resolve_query(query_spec)
         request = self.build_request(query, params)
@@ -304,7 +308,7 @@ class CountingService:
         dataset: str,
         query: Union[str, dict, QueryGraph],
         timeout: Optional[float] = 300.0,
-        **params,
+        **params: object,
     ) -> Tuple[RunResult, bool]:
         """Synchronous counting: ``(RunResult, served_from_cache)``.
 
@@ -330,7 +334,7 @@ class CountingService:
         return job.result, False  # type: ignore[return-value]
 
     def submit(
-        self, dataset: str, query: Union[str, dict, QueryGraph], **params
+        self, dataset: str, query: Union[str, dict, QueryGraph], **params: object
     ) -> Job:
         """Asynchronous counting: admit and return the job to poll.
 
@@ -401,11 +405,13 @@ class CountingService:
     def __enter__(self) -> "CountingService":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        with self._lock:
+            closed = self._closed
         return (
             f"CountingService(datasets={len(self.registry)}, "
-            f"cache={self.cache.snapshot()['size']}, closed={self._closed})"
+            f"cache={self.cache.snapshot()['size']}, closed={closed})"
         )

@@ -1,0 +1,573 @@
+"""Tests for the ``repro.analysis`` static-analysis suite.
+
+Each rule gets a bad fixture (must trigger), a good fixture (must pass)
+and, where behaviour is subtle, targeted unit checks.  Fixtures are
+scratch trees under ``tmp_path`` — the rules read all project knowledge
+from :class:`AnalysisConfig`, whose scope fragments match the scratch
+layouts the same way they match the real tree.  The suite ends with the
+self-check the CI gate relies on: ``python -m repro.analysis src
+benchmarks`` must be clean on this very repository.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import all_rules, main, run_analysis
+from repro.analysis.core import AnalysisConfig, WireContract, parse_suppressions
+from repro.analysis.layering import module_parts
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def write(root: Path, rel: str, body: str) -> Path:
+    path = root / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(textwrap.dedent(body), encoding="utf-8")
+    return path
+
+
+def rules_hit(report) -> set:
+    return {f.rule for f in report.findings}
+
+
+# ----------------------------------------------------------------------
+# registry / plumbing
+# ----------------------------------------------------------------------
+
+class TestPlumbing:
+    def test_all_rules_ids(self):
+        assert [r.id for r in all_rules()] == [
+            "RP001", "RP002", "RP003", "RP004", "RP005", "RP006",
+        ]
+
+    def test_parse_suppressions(self):
+        src = "x = 1  # repro: allow[RP001, RP002]\ny = 2\n"
+        assert parse_suppressions(src) == {1: {"RP001", "RP002"}}
+
+    def test_finding_render_shape(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(3)
+            """)
+        report = run_analysis([tmp_path])
+        (finding,) = report.findings
+        rendered = finding.render()
+        assert rendered.endswith(finding.message)
+        path, line, col = rendered.split(": ")[0].rsplit(":", 2)
+        assert path.endswith("counting/vectorized.py")
+        assert int(line) == 2 and int(col) == 4
+
+    def test_parse_error_is_rp000(self, tmp_path):
+        write(tmp_path, "broken.py", "def nope(:\n")
+        report = run_analysis([tmp_path])
+        assert rules_hit(report) == {"RP000"}
+        assert not report.ok
+
+
+# ----------------------------------------------------------------------
+# RP001 — determinism
+# ----------------------------------------------------------------------
+
+class TestDeterminism:
+    def test_bad_rng_and_clock_calls(self, tmp_path):
+        write(tmp_path, "counting/mod.py", """\
+            import random
+            import time
+            import numpy as np
+
+            def draw(n):
+                np.random.shuffle(n)
+                a = np.random.rand(3)
+                b = random.random()
+                t = time.time()
+                return a, b, t
+            """)
+        report = run_analysis([tmp_path])
+        assert [f.rule for f in report.findings] == ["RP001"] * 4
+
+    def test_seeded_api_and_timing_measurement_pass(self, tmp_path):
+        write(tmp_path, "counting/mod.py", """\
+            import random
+            import time
+            import numpy as np
+
+            def draw(n, seed):
+                rng = np.random.default_rng(seed)
+                r = random.Random(seed)
+                t0 = time.perf_counter()
+                cpu = time.process_time()
+                return rng.integers(0, n), r.randint(0, n), t0, cpu
+            """)
+        assert run_analysis([tmp_path]).ok
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        write(tmp_path, "service/helper.py", """\
+            import numpy as np
+            x = np.random.rand(3)
+            """)
+        assert run_analysis([tmp_path]).ok
+
+
+# ----------------------------------------------------------------------
+# RP002 — dtype discipline
+# ----------------------------------------------------------------------
+
+class TestDtype:
+    def test_missing_dtype_flags(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            a = np.zeros(5)
+            b = np.asarray([1, 2])
+            c = np.arange(7)
+            """)
+        report = run_analysis([tmp_path])
+        assert [f.rule for f in report.findings] == ["RP002"] * 3
+
+    def test_explicit_dtype_passes(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            a = np.zeros(5, dtype=np.int64)
+            b = np.asarray([1, 2], dtype=np.int64)
+            c = np.arange(0, 7, 1, np.int64)
+            d = np.zeros_like(a)
+            e = np.concatenate([a, a])
+            kw = {"dtype": np.int64}
+            f = np.empty(3, **kw)
+            """)
+        assert run_analysis([tmp_path]).ok
+
+    def test_non_kernel_module_is_ignored(self, tmp_path):
+        write(tmp_path, "counting/helpers.py", """\
+            import numpy as np
+            a = np.zeros(5)
+            """)
+        assert run_analysis([tmp_path]).ok
+
+
+# ----------------------------------------------------------------------
+# RP003 — lock discipline
+# ----------------------------------------------------------------------
+
+class TestLockDiscipline:
+    def test_unlocked_touch_flags(self, tmp_path):
+        write(tmp_path, "svc.py", """\
+            import threading
+
+            class CountingService:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False
+
+                def poke(self):
+                    return self._closed
+            """)
+        report = run_analysis([tmp_path])
+        (finding,) = report.findings
+        assert finding.rule == "RP003"
+        assert "CountingService.poke" in finding.message
+        assert "_closed" in finding.message
+
+    def test_locked_touch_and_exemptions_pass(self, tmp_path):
+        write(tmp_path, "svc.py", """\
+            import threading
+
+            class CountingService:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False  # __init__ is exempt
+
+                def close(self):
+                    with self._lock:
+                        self._closed = True
+
+                def _sweep_locked(self):
+                    return self._closed  # caller-holds-lock convention
+            """)
+        assert run_analysis([tmp_path]).ok
+
+    def test_closure_does_not_inherit_the_lock(self, tmp_path):
+        # a deferred body runs after the with-block exits
+        write(tmp_path, "svc.py", """\
+            import threading
+
+            class CountingService:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._closed = False
+
+                def snapshot(self):
+                    with self._lock:
+                        return lambda: self._closed
+            """)
+        report = run_analysis([tmp_path])
+        assert rules_hit(report) == {"RP003"}
+
+
+# ----------------------------------------------------------------------
+# RP004 — layering contract
+# ----------------------------------------------------------------------
+
+class TestLayering:
+    def test_module_parts(self):
+        assert module_parts("src/repro/counting/verify.py", "repro") == [
+            "counting", "verify",
+        ]
+        assert module_parts("src/repro/graph/__init__.py", "repro") == ["graph"]
+        assert module_parts("src/repro/__init__.py", "repro") == []
+        assert module_parts("tests/test_graph.py", "repro") is None
+
+    def test_upward_import_flags(self, tmp_path):
+        write(tmp_path, "repro/counting/bad.py", """\
+            from repro.service import service
+            from ..engine.engine import CountingEngine
+            """)
+        report = run_analysis([tmp_path])
+        assert [f.rule for f in report.findings] == ["RP004"] * 2
+        messages = " ".join(f.message for f in report.findings)
+        assert "repro.service" in messages and "repro.engine" in messages
+
+    def test_lazy_and_type_checking_imports_pass(self, tmp_path):
+        write(tmp_path, "repro/counting/ok.py", """\
+            from typing import TYPE_CHECKING
+
+            from ..graph.graph import Graph
+
+            if TYPE_CHECKING:
+                from ..engine.engine import CountingEngine
+
+            def facade():
+                # the sanctioned lazy escape hatch
+                from ..engine.engine import CountingEngine
+                return CountingEngine
+            """)
+        assert run_analysis([tmp_path]).ok
+
+    def test_downward_and_intra_package_imports_pass(self, tmp_path):
+        write(tmp_path, "repro/engine/ok.py", """\
+            from typing import Optional
+
+            from ..counting.solver import solve_plan
+            from ..graph.graph import Graph
+            from .config import EngineConfig
+            """)
+        report = run_analysis([tmp_path])
+        assert "RP004" not in rules_hit(report)
+
+
+# ----------------------------------------------------------------------
+# RP005 — wire-format drift
+# ----------------------------------------------------------------------
+
+PACKET_CONFIG = AnalysisConfig(
+    rp005_contracts=(
+        WireContract(
+            cls="Packet",
+            path_suffix="net/packet.py",
+            renames={"payload_digest": "payload"},
+            non_wire=("scratch",),
+        ),
+    ),
+)
+
+
+class TestWireFormat:
+    def test_dropped_field_flags(self, tmp_path):
+        write(tmp_path, "net/packet.py", """\
+            class Packet:
+                def __init__(self, seq, payload_digest, scratch):
+                    self.seq = seq
+                    self.payload_digest = payload_digest
+                    self.scratch = scratch
+
+                def to_dict(self):
+                    return {"seq": self.seq}
+
+                @classmethod
+                def from_dict(cls, doc):
+                    return cls(doc["seq"], doc["payload"], None)
+            """)
+        report = run_analysis([tmp_path], config=PACKET_CONFIG)
+        (finding,) = report.findings
+        assert finding.rule == "RP005"
+        assert "to_dict drops Packet.payload_digest" in finding.message
+        assert "'payload'" in finding.message
+
+    def test_complete_round_trip_passes_via_module_constant(self, tmp_path):
+        # the loop-over-fields serializer style counts: keys reached
+        # through a module-level tuple are followed
+        write(tmp_path, "net/packet.py", """\
+            _WIRE_KEYS = ("seq", "payload")
+
+            class Packet:
+                def __init__(self, seq, payload_digest, scratch):
+                    self.seq = seq
+                    self.payload_digest = payload_digest
+                    self.scratch = scratch
+
+                def to_dict(self):
+                    return {k: getattr(self, k, None) for k in _WIRE_KEYS}
+
+                @classmethod
+                def from_dict(cls, doc):
+                    return cls(doc["seq"], doc["payload"], None)
+            """)
+        assert run_analysis([tmp_path], config=PACKET_CONFIG).ok
+
+    def test_missing_contract_method_flags(self, tmp_path):
+        write(tmp_path, "net/packet.py", """\
+            class Packet:
+                def __init__(self, seq):
+                    self.seq = seq
+            """)
+        report = run_analysis([tmp_path], config=PACKET_CONFIG)
+        messages = [f.message for f in report.findings]
+        assert any("missing contract method to_dict" in m for m in messages)
+        assert any("missing contract method from_dict" in m for m in messages)
+
+    def test_unscanned_contract_is_skipped(self, tmp_path):
+        write(tmp_path, "other.py", "x = 1\n")
+        assert run_analysis([tmp_path], config=PACKET_CONFIG).ok
+
+
+# ----------------------------------------------------------------------
+# RP006 — typed seams
+# ----------------------------------------------------------------------
+
+class TestTypedSeams:
+    def test_missing_annotations_flag(self, tmp_path):
+        write(tmp_path, "repro/engine/util.py", """\
+            def f(x, *args, **kwargs):
+                return x
+
+            class C:
+                def method(self, y):
+                    return y
+            """)
+        report = run_analysis([tmp_path])
+        assert [f.rule for f in report.findings] == ["RP006"] * 2
+        first, second = (f.message for f in report.findings)
+        assert "x" in first and "*args" in first and "**kwargs" in first
+        assert "return" in first
+        assert "y" in second and "self" not in second
+
+    def test_fully_annotated_passes(self, tmp_path):
+        write(tmp_path, "repro/engine/util.py", """\
+            def f(x: int, *args: object, **kwargs: object) -> int:
+                return x
+
+            class C:
+                def method(self, y: str) -> str:
+                    # nested defs are checked too (disallow_untyped_defs does)
+                    def helper(z: str) -> str:
+                        return z
+                    return helper(y)
+            """)
+        assert run_analysis([tmp_path]).ok
+
+    def test_out_of_scope_module_is_ignored(self, tmp_path):
+        write(tmp_path, "repro/motifs/util.py", "def f(x):\n    return x\n")
+        assert run_analysis([tmp_path]).ok
+
+
+# ----------------------------------------------------------------------
+# suppressions and the budget
+# ----------------------------------------------------------------------
+
+class TestSuppressions:
+    def test_inline_allow_suppresses_the_finding(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)  # repro: allow[RP002]
+            """)
+        report = run_analysis([tmp_path])
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["RP002"]
+        assert report.suppression_comments == 1
+
+    def test_wrong_rule_id_does_not_suppress(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)  # repro: allow[RP001]
+            """)
+        report = run_analysis([tmp_path])
+        assert rules_hit(report) == {"RP002"}
+
+    def test_budget_overrun_is_fatal(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)  # repro: allow[RP002]
+            y = np.zeros(4)  # repro: allow[RP002]
+            """)
+        report = run_analysis([tmp_path], max_suppressions=1)
+        assert rules_hit(report) == {"RP000"}
+        assert "suppression budget exceeded" in report.findings[0].message
+
+    def test_filtered_runs_do_not_enforce_the_budget(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)  # repro: allow[RP002]
+            y = np.zeros(4)  # repro: allow[RP002]
+            """)
+        report = run_analysis([tmp_path], rules=["RP002"], max_suppressions=1)
+        assert report.ok  # developer loop, not the committed gate
+
+
+# ----------------------------------------------------------------------
+# CLI
+# ----------------------------------------------------------------------
+
+class TestCli:
+    def test_clean_tree_exits_zero(self, tmp_path, capsys):
+        write(tmp_path, "counting/clean.py", "x = 1\n")
+        assert main([str(tmp_path)]) == 0
+        assert "clean" in capsys.readouterr().out
+
+    def test_findings_exit_nonzero(self, tmp_path, capsys):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)
+            """)
+        assert main([str(tmp_path)]) == 1
+        out = capsys.readouterr().out
+        assert "RP002" in out and "1 finding(s)" in out
+
+    def test_json_report_schema(self, tmp_path, capsys):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            x = np.zeros(4)
+            y = np.zeros(4)  # repro: allow[RP002]
+            """)
+        assert main(["--format", "json", str(tmp_path)]) == 1
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == 1
+        assert doc["ok"] is False
+        assert doc["files_scanned"] == 1
+        assert doc["counts_by_rule"] == {"RP002": 1}
+        assert doc["suppressions"] == {"comments": 1, "budget": 5}
+        (row,) = doc["findings"]
+        assert set(row) == {"rule", "path", "line", "col", "message"}
+        assert row["rule"] == "RP002" and row["line"] == 2
+        (sup,) = doc["suppressed"]
+        assert sup["line"] == 3
+
+    def test_rules_filter(self, tmp_path):
+        write(tmp_path, "counting/vectorized.py", """\
+            import numpy as np
+            import time
+            x = np.zeros(4)
+            t = time.time()
+            """)
+        assert main(["--rules", "RP001", str(tmp_path)]) == 1
+        assert main(["--rules", "RP003", str(tmp_path)]) == 0
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RP001", "RP002", "RP003", "RP004", "RP005", "RP006"):
+            assert rule_id in out
+
+    def test_unknown_rule_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["--rules", "RP999", str(tmp_path)])
+        assert exc.value.code == 2
+
+    def test_missing_path_is_a_usage_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main([str(tmp_path / "nope")])
+        assert exc.value.code == 2
+
+
+# ----------------------------------------------------------------------
+# the acceptance matrix: a deliberate violation of each rule makes the
+# CLI exit nonzero on a scratch tree
+# ----------------------------------------------------------------------
+
+VIOLATIONS = {
+    "RP001": ("counting/mod.py", """\
+        import numpy as np
+        x = np.random.rand(3)
+        """),
+    "RP002": ("counting/vectorized.py", """\
+        import numpy as np
+        x = np.zeros(3)
+        """),
+    "RP003": ("svc.py", """\
+        import threading
+
+        class CountingService:
+            def __init__(self):
+                self._lock = threading.Lock()
+                self._closed = False
+
+            def poke(self):
+                return self._closed
+        """),
+    "RP004": ("repro/counting/bad.py", """\
+        from repro.service import service
+        """),
+    "RP005": ("engine/result.py", """\
+        class RunResult:
+            def __init__(self, count):
+                self.count = count
+
+            def to_dict(self):
+                return {"count": self.count}
+
+            @classmethod
+            def from_dict(cls, doc):
+                return cls(doc["count"])
+        """),
+    "RP006": ("repro/engine/util.py", """\
+        def f(x):
+            return x
+        """),
+}
+
+
+@pytest.mark.parametrize("rule_id", sorted(VIOLATIONS))
+def test_deliberate_violation_fails_the_cli(rule_id, tmp_path, capsys):
+    rel, body = VIOLATIONS[rule_id]
+    write(tmp_path, rel, body)
+    assert main([str(tmp_path)]) == 1
+    assert rule_id in capsys.readouterr().out
+
+
+# ----------------------------------------------------------------------
+# the repo itself
+# ----------------------------------------------------------------------
+
+class TestRepositoryGate:
+    def test_repo_is_clean(self, capsys):
+        """The CI gate: this very repository passes its own analysis."""
+        code = main([str(REPO_ROOT / "src"), str(REPO_ROOT / "benchmarks")])
+        out = capsys.readouterr().out
+        assert code == 0, out
+        assert "clean" in out
+
+    def test_repo_suppressions_stay_within_budget(self):
+        report = run_analysis([REPO_ROOT / "src", REPO_ROOT / "benchmarks"])
+        assert report.ok
+        assert report.suppression_comments <= report.max_suppressions
+
+    @pytest.mark.skipif(shutil.which("mypy") is None, reason="mypy not installed")
+    def test_mypy_gate(self):
+        """The semantic half of the typed-API gate (runs where mypy exists)."""
+        proc = subprocess.run(
+            [
+                sys.executable, "-m", "mypy",
+                "--config-file", str(REPO_ROOT / "mypy.ini"),
+                str(REPO_ROOT / "src" / "repro"),
+            ],
+            capture_output=True,
+            text=True,
+            cwd=REPO_ROOT,
+        )
+        assert proc.returncode == 0, proc.stdout + proc.stderr

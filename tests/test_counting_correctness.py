@@ -35,7 +35,7 @@ class TestPaperQueriesAgainstBruteForce:
     def test_on_random_graphs(self, name, rng):
         q = paper_queries()[name]
         nonzero_seen = False
-        for trial in range(4):
+        for _trial in range(4):
             g = erdos_renyi(10, 0.45, rng)
             colors = rng.integers(0, q.k, size=g.n)
             if _check(g, q, colors) > 0:

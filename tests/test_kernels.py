@@ -70,7 +70,7 @@ class TestBuildPathTable:
             g, colors, ("x", "y", "z"), {}, {}, ctx, record_set={"y"}
         )
         assert t.record_labels == ("y",)
-        for (u, v, extras, sig), cnt in t.items():
+        for (u, v, extras, _sig), _cnt in t.items():
             assert len(extras) == 1
             assert g.has_edge(u, extras[0]) and g.has_edge(extras[0], v)
 
