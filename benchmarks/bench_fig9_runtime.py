@@ -20,6 +20,7 @@ import numpy as np
 
 from repro.bench import bench_record, dataset, geometric_mean
 from repro.counting import count_colorful
+from repro.counting.xp import default_namespace
 from repro.query import paper_query
 
 from bench_common import BENCH_SEED, bench_plan, coloring_for, emit_bench_json, emit_table
@@ -112,6 +113,15 @@ def test_fig9_average_runtime(benchmark):
     benchmark(lambda: count_colorful(g, q, colors, method="db", plan=plan))
 
 
+def _record_namespace(method):
+    """The array namespace a fig9 record ran under (None off the seam).
+
+    ``ps`` is the dict-kernel baseline — no array namespace; ``ps-vec``
+    resolves the process default (numpy, or REPRO_ARRAY_NAMESPACE).
+    """
+    return default_namespace().name if method == "ps-vec" else None
+
+
 def _timed_pair(g, q, plan, colors, repeats=3):
     """Best-of-N ps and ps-vec timings plus their (identical) counts."""
     timings, counts = {}, {}
@@ -158,7 +168,8 @@ def test_fig9_vectorized_speedup(benchmark):
             for method in ("ps", "ps-vec"):
                 records.append(
                     bench_record("fig9_runtime", gname, qname, method,
-                                 timings[method], count=counts[method])
+                                 timings[method], count=counts[method],
+                                 namespace=_record_namespace(method))
                 )
             speedup = timings["ps"] / timings["ps-vec"]
             speedups.append(speedup)
@@ -180,7 +191,8 @@ def test_fig9_vectorized_speedup(benchmark):
     for method in ("ps", "ps-vec"):
         records.append(
             bench_record("fig9_runtime", LABELED_GRAPH, lq.name, method,
-                         ltimings[method], count=lcounts[method], labeled=True)
+                         ltimings[method], count=lcounts[method], labeled=True,
+                         namespace=_record_namespace(method))
         )
     labeled_speedup = ltimings["ps"] / ltimings["ps-vec"]
     rows.append(

@@ -34,7 +34,7 @@ import math
 import os
 import time
 from contextlib import contextmanager
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
 from ..graph.graph import Graph
@@ -59,6 +59,8 @@ __all__ = [
     "run_perf_smoke",
     "run_scaling_bench",
     "PERF_SMOKE_GRID",
+    "STRICT_OVERHEAD_CELL",
+    "STRICT_OVERHEAD_LIMIT",
     "SCALING_GRID",
     "SCALING_WORKERS",
     "DEFAULT_TOLERANCE",
@@ -242,6 +244,14 @@ PERF_SMOKE_GRID = (
     ("enron", "youtube", "db"),
 )
 
+#: the strict-namespace datapoint rides the perf-smoke run on this cell:
+#: ps-vec through the audited StrictNamespace stub must stay within this
+#: factor of the raw-NumPy timing of the same cell.  The seam adds one
+#: Python method call per whole-table primitive — per-call overhead is
+#: amortized over array-sized work, so 1.3x is generous headroom
+STRICT_OVERHEAD_CELL = ("condmat", "wiki")
+STRICT_OVERHEAD_LIMIT = 1.3
+
 
 def calibration_seconds(repeats: int = 3) -> float:
     """Machine-speed probe: a fixed lexsort + segment-sum workload.
@@ -408,6 +418,49 @@ def run_perf_smoke(
                 count=count, calibrated=best / cal,
             )
         )
+
+    # strict-namespace datapoint: same cell, same plan/coloring, ps-vec
+    # through the audited StrictNamespace stub.  The record carries the
+    # measured overhead ratio; main() gates it at STRICT_OVERHEAD_LIMIT.
+    # The ratio is best-of-N strict over best-of-N numpy timed
+    # back-to-back here (one warmup each, repeat floor of 3) — the grid's
+    # numpy record above may be a single cold sample under --repeats 1,
+    # and a ratio of two cold singles is all noise.
+    from ..engine.backends import DEFAULT_REGISTRY
+
+    gname, qname = STRICT_OVERHEAD_CELL
+    engine = engines.setdefault(gname, engine_for(dataset(gname), config))
+    q = paper_query(qname)
+    colors = _bench_coloring(engine, q.k)
+    plan = engine.plan_for(q)
+    vec = DEFAULT_REGISTRY.get("ps-vec")
+
+    def _best_of(namespace: str, reps: int) -> Tuple[float, int]:
+        vec.count_colorful(engine.graph, q, colors, plan=plan, namespace=namespace)
+        best, count = math.inf, 0
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            count = vec.count_colorful(
+                engine.graph, q, colors, plan=plan, namespace=namespace
+            )
+            best = min(best, time.perf_counter() - t0)
+        return best, count
+
+    reps = max(3, repeats)
+    numpy_best, numpy_count = _best_of("numpy", reps)
+    best, count = _best_of("strict", reps)
+    assert count == numpy_count, "strict namespace changed the count"
+    numpy_ref = next(
+        r for r in records if r["key"] == f"perf_smoke/{gname}/{qname}/ps-vec"
+    )
+    assert count == numpy_ref["count"], "strict namespace changed the count"
+    records.append(
+        bench_record(
+            "perf_smoke", gname, qname, "ps-vec@strict", best,
+            count=count, calibrated=best / cal, namespace="strict",
+            overhead_vs_numpy=best / numpy_best,
+        )
+    )
     return records
 
 
@@ -631,6 +684,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     print_table(
         records, columns=["key", "seconds", "calibrated", "count"], title="perf-smoke"
     )
+
+    strict = next((r for r in records if r.get("namespace") == "strict"), None)
+    if strict is not None:
+        overhead = float(strict["overhead_vs_numpy"])
+        print(f"[strict-namespace overhead vs raw NumPy: {overhead:.2f}x]")
+        if overhead > STRICT_OVERHEAD_LIMIT:
+            print(
+                f"FAIL: strict-namespace seam overhead {overhead:.2f}x > "
+                f"allowed {STRICT_OVERHEAD_LIMIT:g}x on "
+                f"{'/'.join(STRICT_OVERHEAD_CELL)}"
+            )
+            return 1
 
     if args.emit_json:
         path = write_bench_json(args.emit_json, records)

@@ -22,6 +22,7 @@ from typing import List, Optional
 import numpy as np
 
 from .bench.datasets import dataset, dataset_names
+from .counting.xp import BackendUnavailable, KNOWN_NAMESPACES
 from .decomposition.enumeration import enumerate_plans
 from .decomposition.planner import choose_plan
 from .graph.io import read_edge_list
@@ -114,8 +115,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
                 method=args.method,
                 num_colors=args.num_colors,
                 workers=args.workers,
+                namespace=args.namespace,
             )
-    except (KeyError, OSError, ValueError) as exc:
+    except (KeyError, OSError, ValueError, BackendUnavailable) as exc:
         return _cli_error(exc)
     palette = f", num_colors={result.num_colors}" if result.num_colors != q.k else ""
     workers = f", workers={result.workers}" if result.workers > 1 else ""
@@ -301,6 +303,12 @@ def build_parser() -> argparse.ArgumentParser:
     p_count.add_argument(
         "--partition", choices=("block", "cyclic", "hash"), default="block",
         help="vertex partition strategy for ps-dist shards (default: block)",
+    )
+    p_count.add_argument(
+        "--namespace", choices=KNOWN_NAMESPACES, default=None,
+        help="array namespace for the vectorized backends (ps-vec/ps-gpu): "
+        "numpy, strict (audited CPU stub), cupy, torch, or auto; default: "
+        "the REPRO_ARRAY_NAMESPACE env var, else numpy",
     )
     p_count.add_argument(
         "--labels", default=None, metavar="SPEC",

@@ -22,6 +22,12 @@ from .ps import count_colorful_ps
 from .solver import ALL_METHODS, METHODS, VEC_METHOD, BlockSolver, solve_plan
 from .treelet import count_colorful_treelet
 from .vectorized import count_colorful_ps_vec, solve_plan_vectorized
+from .xp import (
+    ArrayNamespace,
+    BackendUnavailable,
+    StrictNamespace,
+    resolve_namespace,
+)
 
 __all__ = [
     "count",
@@ -53,4 +59,8 @@ __all__ = [
     "estimate_matches_parallel",
     "verify_counting",
     "VerificationReport",
+    "ArrayNamespace",
+    "BackendUnavailable",
+    "StrictNamespace",
+    "resolve_namespace",
 ]

@@ -1,4 +1,4 @@
-"""Vectorized PS kernels — the ``ps-vec`` backend (NumPy, CSR-batched).
+"""Vectorized PS kernels — the ``ps-vec`` backend (array-API, CSR-batched).
 
 The reference kernels in :mod:`repro.counting.kernels` walk one partial
 match at a time: a Python loop pops a ``(u, v, sig) -> count`` dict entry,
@@ -10,16 +10,23 @@ the same dynamic program as whole-table array operations:
 * a path table is four parallel ``int64`` arrays ``(u, v, sig, cnt)``,
   kept lexicographically sorted by ``(u, v, sig)``;
 * **EdgeJoin with the data graph** gathers every entry's full CSR
-  neighbour slice in one shot (``np.repeat`` over degrees + one fancy
+  neighbour slice in one shot (``repeat`` over degrees + one fancy
   index into ``indices``), masks out colour collisions, and re-aggregates
-  duplicates with a lexsort + ``np.add.reduceat`` segment sum;
+  duplicates with a ``lexsort`` + ``add_reduceat`` segment sum;
 * **EdgeJoin/NodeJoin with child tables** and the **cycle merge** are
   sort-merge joins: the child table is already sorted, so per-entry match
-  ranges come from two ``np.searchsorted`` calls and the cross product is
+  ranges come from two ``searchsorted`` calls and the cross product is
   materialised with the same repeat/gather pattern;
 * **leaf projection** and output-table accumulation are the same segment
-  sum (this is where ``np.add.at`` semantics appear — we use the
+  sum (this is where ``add.at`` semantics appear — we use the
   sorted-``reduceat`` form because it is deterministic and faster).
+
+Every array operation goes through an :class:`~repro.counting.xp.ArrayNamespace`
+handle (the audited seam in :mod:`repro.counting.xp`) — NumPy by
+default, the strict CPU stub under ``REPRO_ARRAY_NAMESPACE=strict``, and
+CuPy/torch on a CUDA device.  This module deliberately does **not**
+import NumPy: a new kernel either speaks the audited primitive set or
+fails the strict CI lane.
 
 Counts use ``int64`` accumulators (the dict kernels use Python bignums).
 Guards raise ``OverflowError`` before results can wrap: per-entry counts
@@ -27,7 +34,8 @@ entering a product join must stay below ``2^31`` (so products fit in 62
 bits), and every aggregation/total is preceded by a float64 whole-table
 sum check against ``2^62``.  Within those bounds the results are
 **bit-identical** to ``method="ps"`` on the same plan and coloring —
-asserted across the whole query library by the parity tests.
+asserted across the whole query library by the parity tests, and across
+namespaces by the differential matrix.
 
 Only the PS splitting strategy is vectorized: PS never records interior
 boundary nodes, so its tables stay rectangular ``(u, v, sig)`` arrays.
@@ -39,8 +47,6 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
-import numpy as np
-
 from ..decomposition.blocks import CYCLE, LEAF, SINGLETON, Block
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
@@ -50,6 +56,7 @@ from .labels import label_masks
 # the cycle-walk order must stay in lockstep with the dict solver for the
 # ps/ps-vec bit-identical invariant to hold — share one implementation
 from .solver import _ccw_labels, _cw_labels
+from .xp import Array, ArrayNamespace, NamespaceLike, as_namespace, cpu_namespace
 
 __all__ = [
     "VecUnaryTable",
@@ -67,88 +74,89 @@ Node = Hashable
 #: signatures are bit sets inside one int64 ⇒ at most 62 colors
 MAX_COLORS_VEC = 62
 
-_EMPTY = np.empty(0, dtype=np.int64)
-
 #: any table whose total count stays below this cannot wrap an int64
 #: segment sum; measured in float64 so the check itself cannot overflow
 _SUM_LIMIT = float(2**62)
 
 
-def _popcount(a: np.ndarray) -> np.ndarray:
+def _popcount(a: Array, xp: Optional[ArrayNamespace] = None) -> Array:
     """Per-element population count of an int64 array."""
-    if hasattr(np, "bitwise_count"):
-        return np.bitwise_count(a).astype(np.int64)
-    x = a.astype(np.uint64)
-    m1 = np.uint64(0x5555555555555555)
-    m2 = np.uint64(0x3333333333333333)
-    m4 = np.uint64(0x0F0F0F0F0F0F0F0F)
-    x = x - ((x >> np.uint64(1)) & m1)
-    x = (x & m2) + ((x >> np.uint64(2)) & m2)
-    x = (x + (x >> np.uint64(4))) & m4
-    return ((x * np.uint64(0x0101010101010101)) >> np.uint64(56)).astype(np.int64)
+    xp = xp if xp is not None else cpu_namespace()
+    return xp.popcount(a)
 
 
 def _group_sum(
-    cols: Sequence[np.ndarray], cnt: np.ndarray
-) -> Tuple[List[np.ndarray], np.ndarray]:
+    cols: Sequence[Array], cnt: Array, xp: Optional[ArrayNamespace] = None
+) -> Tuple[List[Array], Array]:
     """Aggregate duplicate keys: lexsort by ``cols`` then segment-sum ``cnt``.
 
     Returns the unique key columns (sorted ascending, first column most
     significant) and the per-key count sums — the array analogue of the
     dict kernels' ``table.add`` accumulation.
     """
-    if cnt.size == 0:
+    xp = xp if xp is not None else cpu_namespace()
+    if len(cnt) == 0:
         return [c[:0] for c in cols], cnt[:0]
     # conservative overflow check: the whole-table float64 total bounds
     # every segment sum, so staying under 2^62 rules out int64 wrap
-    if float(cnt.astype(np.float64).sum()) > _SUM_LIMIT:
+    if float(xp.sum(xp.astype(cnt, xp.float64))) > _SUM_LIMIT:
         raise OverflowError(
             "ps-vec table aggregation would exceed int64; rerun with the "
             "arbitrary-precision 'ps' backend"
         )
-    order = np.lexsort(tuple(reversed(cols)))
+    order = xp.lexsort(tuple(reversed(cols)))
     cols = [c[order] for c in cols]
     cnt = cnt[order]
-    boundary = np.zeros(cnt.size, dtype=bool)
+    boundary = xp.zeros(len(cnt), dtype=xp.bool_)
     boundary[0] = True
     for c in cols:
         boundary[1:] |= c[1:] != c[:-1]
-    starts = np.flatnonzero(boundary)
-    return [c[starts] for c in cols], np.add.reduceat(cnt, starts)
+    starts = xp.flatnonzero(boundary)
+    return [c[starts] for c in cols], xp.add_reduceat(cnt, starts)
 
 
-def _expand(starts: np.ndarray, lens: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+def _expand(
+    starts: Array, lens: Array, xp: Optional[ArrayNamespace] = None
+) -> Tuple[Array, Array]:
     """Flatten per-entry ranges ``[starts, starts+lens)`` into gather indices.
 
     Returns ``(rep, pos)``: ``rep[i]`` is the source entry of flat slot
     ``i`` and ``pos[i]`` the absolute position inside the indexed array.
     """
-    total = int(lens.sum())
+    xp = xp if xp is not None else cpu_namespace()
+    total = int(xp.sum(lens)) if len(lens) else 0
     if total == 0:
-        return _EMPTY, _EMPTY
-    rep = np.repeat(np.arange(lens.size, dtype=np.int64), lens)
-    offsets = np.cumsum(lens) - lens
-    pos = np.arange(total, dtype=np.int64) - offsets[rep] + starts[rep]
+        empty = xp.empty(0, dtype=xp.int64)
+        return empty, empty
+    rep = xp.repeat(xp.arange(len(lens), dtype=xp.int64), lens)
+    offsets = xp.cumsum(lens) - lens
+    pos = xp.arange(total, dtype=xp.int64) - offsets[rep] + starts[rep]
     return rep, pos
 
 
-def _check_counts(cnt: np.ndarray) -> None:
-    """Refuse int64 ranges where a pairwise product could overflow."""
-    if cnt.size and int(np.abs(cnt).max()) >= np.int64(1) << 31:
+def _check_counts(cnt: Array, xp: Optional[ArrayNamespace] = None) -> None:
+    """Refuse int64 ranges where a pairwise product could overflow.
+
+    Counts are non-negative by construction (tables seed at 1 and only
+    sum/multiply under these guards), so the max bounds the magnitude.
+    """
+    xp = xp if xp is not None else cpu_namespace()
+    if len(cnt) and int(xp.max(cnt)) >= 1 << 31:
         raise OverflowError(
             "ps-vec count tables exceeded 2^31 per entry; rerun with the "
             "arbitrary-precision 'ps' backend"
         )
 
 
-def _checked_total(cnt: np.ndarray) -> int:
+def _checked_total(cnt: Array, xp: Optional[ArrayNamespace] = None) -> int:
     """Sum counts, refusing totals that could wrap an int64 accumulator."""
-    if cnt.size and float(cnt.astype(np.float64).sum()) > _SUM_LIMIT:
+    xp = xp if xp is not None else cpu_namespace()
+    if len(cnt) and float(xp.sum(xp.astype(cnt, xp.float64))) > _SUM_LIMIT:
         raise OverflowError(
             "ps-vec total count would exceed int64; rerun with the "
             "arbitrary-precision 'ps' backend"
         )
-    return int(cnt.sum())
+    return int(xp.sum(cnt)) if len(cnt) else 0
 
 
 class VecUnaryTable:
@@ -158,14 +166,22 @@ class VecUnaryTable:
     signature ``sig[i]``; rows are unique and sorted by ``(u, sig)``.
     """
 
-    __slots__ = ("boundary", "u", "sig", "cnt")
+    __slots__ = ("boundary", "u", "sig", "cnt", "xp")
 
-    def __init__(self, boundary: Node, u: np.ndarray, sig: np.ndarray, cnt: np.ndarray) -> None:
+    def __init__(
+        self,
+        boundary: Node,
+        u: Array,
+        sig: Array,
+        cnt: Array,
+        xp: Optional[ArrayNamespace] = None,
+    ) -> None:
         self.boundary = boundary
         self.u, self.sig, self.cnt = u, sig, cnt
+        self.xp = xp if xp is not None else cpu_namespace()
 
     def total(self) -> int:
-        return _checked_total(self.cnt)
+        return _checked_total(self.cnt, self.xp)
 
     def __len__(self) -> int:
         return len(self.cnt)
@@ -178,25 +194,29 @@ class VecBinaryTable:
     the ``(u, v)`` pair) reduce to ``searchsorted`` range lookups.
     """
 
-    __slots__ = ("boundary", "u", "v", "sig", "cnt")
+    __slots__ = ("boundary", "u", "v", "sig", "cnt", "xp")
 
     def __init__(
         self,
         boundary: Tuple[Node, Node],
-        u: np.ndarray,
-        v: np.ndarray,
-        sig: np.ndarray,
-        cnt: np.ndarray,
+        u: Array,
+        v: Array,
+        sig: Array,
+        cnt: Array,
+        xp: Optional[ArrayNamespace] = None,
     ) -> None:
         self.boundary = boundary
         self.u, self.v, self.sig, self.cnt = u, v, sig, cnt
+        self.xp = xp if xp is not None else cpu_namespace()
 
     def transpose(self) -> "VecBinaryTable":
-        (u, v, sig), cnt = _group_sum((self.v, self.u, self.sig), self.cnt)
-        return VecBinaryTable((self.boundary[1], self.boundary[0]), u, v, sig, cnt)
+        (u, v, sig), cnt = _group_sum((self.v, self.u, self.sig), self.cnt, self.xp)
+        return VecBinaryTable(
+            (self.boundary[1], self.boundary[0]), u, v, sig, cnt, self.xp
+        )
 
     def total(self) -> int:
-        return int(self.cnt.sum())
+        return int(self.xp.sum(self.cnt)) if len(self.cnt) else 0
 
     def __len__(self) -> int:
         return len(self.cnt)
@@ -211,163 +231,11 @@ class VecPathTable:
 
     __slots__ = ("u", "v", "sig", "cnt")
 
-    def __init__(self, u: np.ndarray, v: np.ndarray, sig: np.ndarray, cnt: np.ndarray) -> None:
+    def __init__(self, u: Array, v: Array, sig: Array, cnt: Array) -> None:
         self.u, self.v, self.sig, self.cnt = u, v, sig, cnt
-
-    def total(self) -> int:
-        return int(self.cnt.sum())
 
     def __len__(self) -> int:
         return len(self.cnt)
-
-
-def _empty_path() -> VecPathTable:
-    return VecPathTable(_EMPTY, _EMPTY, _EMPTY, _EMPTY)
-
-
-# ----------------------------------------------------------------------
-# kernels (array analogues of repro.counting.kernels)
-# ----------------------------------------------------------------------
-
-def _init_from_graph(
-    g: Graph,
-    colors: np.ndarray,
-    bit: np.ndarray,
-    start_mask: Optional[np.ndarray] = None,
-    ok_u: Optional[np.ndarray] = None,
-    ok_v: Optional[np.ndarray] = None,
-) -> VecPathTable:
-    """Seed cnt(u, v, {χu, χv}) = 1 from every directed edge, batched.
-
-    The repeat/gather over ``indptr`` emits all directed edges at once;
-    rows arrive already sorted by ``(u, v)`` because CSR slices are sorted.
-    With ``start_mask`` only edges whose start vertex is in the mask are
-    seeded — the shard-restricted sweep used by the ``ps-dist`` executor.
-    ``ok_u``/``ok_v`` are the label-compatibility masks of the path's
-    first two query nodes (labeled counting).
-    """
-    indptr, indices = g.to_csr()
-    u = np.repeat(np.arange(g.n, dtype=np.int64), np.diff(indptr))
-    keep = colors[u] != colors[indices]
-    if start_mask is not None:
-        keep &= start_mask[u]
-    if ok_u is not None:
-        keep &= ok_u[u]
-    if ok_v is not None:
-        keep &= ok_v[indices]
-    u, v = u[keep], indices[keep]
-    return VecPathTable(u, v, bit[u] | bit[v], np.ones(u.size, dtype=np.int64))
-
-
-def _init_from_child(
-    child: VecBinaryTable, start_mask: Optional[np.ndarray] = None
-) -> VecPathTable:
-    """Seed from an annotated edge's child projection table (a copy-free view)."""
-    if start_mask is None:
-        return VecPathTable(child.u, child.v, child.sig, child.cnt)
-    keep = start_mask[child.u]
-    return VecPathTable(child.u[keep], child.v[keep], child.sig[keep], child.cnt[keep])
-
-
-def _extend_with_graph(
-    g: Graph,
-    colors: np.ndarray,
-    bit: np.ndarray,
-    t: VecPathTable,
-    ok_w: Optional[np.ndarray] = None,
-) -> VecPathTable:
-    """EdgeJoin with the data graph: extend every path by every neighbour
-    of its end vertex whose color is unused, in one batched gather.
-    ``ok_w`` masks the new vertex by label compatibility."""
-    if len(t) == 0:
-        return _empty_path()
-    indptr, indices = g.to_csr()
-    rep, pos = _expand(indptr[t.v], g.degrees[t.v])
-    w = indices[pos]
-    sig = t.sig[rep]
-    keep = ((sig >> colors[w]) & 1) == 0
-    if ok_w is not None:
-        keep &= ok_w[w]
-    rep, w, sig = rep[keep], w[keep], sig[keep]
-    (u, v, sig), cnt = _group_sum((t.u[rep], w, sig | bit[w]), t.cnt[rep])
-    return VecPathTable(u, v, sig, cnt)
-
-
-def _extend_with_child(
-    bit: np.ndarray, t: VecPathTable, child: VecBinaryTable
-) -> VecPathTable:
-    """EdgeJoin with a child table: sort-merge join on the path end vertex.
-
-    Signatures must intersect exactly in the shared vertex's color
-    (``sig & sig2 == 1 << χv``) — the colorful-join discipline.
-    """
-    if len(t) == 0 or len(child) == 0:
-        return _empty_path()
-    lo = np.searchsorted(child.u, t.v, side="left")
-    hi = np.searchsorted(child.u, t.v, side="right")
-    rep, pos = _expand(lo, hi - lo)
-    sig1, sig2 = t.sig[rep], child.sig[pos]
-    keep = (sig1 & sig2) == bit[t.v[rep]]
-    rep, pos, sig1, sig2 = rep[keep], pos[keep], sig1[keep], sig2[keep]
-    _check_counts(t.cnt)
-    _check_counts(child.cnt)
-    (u, v, sig), cnt = _group_sum(
-        (t.u[rep], child.v[pos], sig1 | sig2), t.cnt[rep] * child.cnt[pos]
-    )
-    return VecPathTable(u, v, sig, cnt)
-
-
-def _node_join(
-    bit: np.ndarray,
-    t: VecPathTable,
-    child: VecUnaryTable,
-    on_start: bool,
-) -> VecPathTable:
-    """NodeJoin: fold a unary child annotating the path's start or end."""
-    if len(t) == 0 or len(child) == 0:
-        return _empty_path()
-    x = t.u if on_start else t.v
-    lo = np.searchsorted(child.u, x, side="left")
-    hi = np.searchsorted(child.u, x, side="right")
-    rep, pos = _expand(lo, hi - lo)
-    sig1, sig2 = t.sig[rep], child.sig[pos]
-    keep = (sig1 & sig2) == bit[x[rep]]
-    rep, pos, sig1, sig2 = rep[keep], pos[keep], sig1[keep], sig2[keep]
-    _check_counts(t.cnt)
-    _check_counts(child.cnt)
-    (u, v, sig), cnt = _group_sum(
-        (t.u[rep], t.v[rep], sig1 | sig2), t.cnt[rep] * child.cnt[pos]
-    )
-    return VecPathTable(u, v, sig, cnt)
-
-
-def _merge_paths(
-    n: int,
-    bit: np.ndarray,
-    tplus: VecPathTable,
-    tminus: VecPathTable,
-) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
-    """Cycle merge: join the two path tables on their shared endpoints.
-
-    Both tables run start→end, so the join key is the ``(u, v)`` pair,
-    encoded as ``u*n + v`` to make it one monotone ``searchsorted`` axis.
-    Returns the raw matched rows ``(u, v, sig1|sig2, cnt1*cnt2)`` — the
-    caller aggregates according to the block's boundary arity.
-    """
-    if len(tplus) == 0 or len(tminus) == 0:
-        return _EMPTY, _EMPTY, _EMPTY, _EMPTY
-    key_minus = tminus.u * np.int64(n) + tminus.v
-    key_plus = tplus.u * np.int64(n) + tplus.v
-    lo = np.searchsorted(key_minus, key_plus, side="left")
-    hi = np.searchsorted(key_minus, key_plus, side="right")
-    rep, pos = _expand(lo, hi - lo)
-    sig1, sig2 = tplus.sig[rep], tminus.sig[pos]
-    u, v = tplus.u[rep], tplus.v[rep]
-    keep = (sig1 & sig2) == (bit[u] | bit[v])
-    rep, pos, u, v = rep[keep], pos[keep], u[keep], v[keep]
-    _check_counts(tplus.cnt)
-    _check_counts(tminus.cnt)
-    return u, v, sig1[keep] | sig2[keep], tplus.cnt[rep] * tminus.cnt[pos]
 
 
 # ----------------------------------------------------------------------
@@ -384,27 +252,48 @@ class VectorizedSolver:
     key vertex is owned by the mask — the shard invariant the ``ps-dist``
     executor builds on.  Child tables must then cover *all* vertices:
     :meth:`inject` installs externally combined (full) child results.
+
+    ``xp`` selects the array namespace (None: the process default).  All
+    host inputs — CSR arrays, the coloring, shard and label masks —
+    transfer through ``xp.asarray`` here, once per solver; the kernels
+    below never touch host memory again until the root scalar comes back.
     """
 
     def __init__(
         self,
         g: Graph,
-        colors: np.ndarray,
+        colors: Array,
         k: int,
-        start_mask: Optional[np.ndarray] = None,
-        vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
+        start_mask: Optional[Array] = None,
+        vertex_ok: Optional[Dict[Node, Array]] = None,
+        xp: NamespaceLike = None,
     ) -> None:
+        self.xp = as_namespace(xp)
+        xpn = self.xp
         self.g = g
-        self.colors = colors
+        indptr, indices = g.to_csr()
+        self._indptr = xpn.asarray(indptr, dtype=xpn.int64)
+        self._indices = xpn.asarray(indices, dtype=xpn.int64)
+        self._degrees = xpn.asarray(g.degrees, dtype=xpn.int64)
+        self.colors = xpn.asarray(colors, dtype=xpn.int64)
         self.k = k
-        self.start_mask = start_mask
-        #: label-compatibility masks for labeled queries (None = unlabeled)
-        self.vertex_ok = vertex_ok or {}
+        self.start_mask = (
+            xpn.asarray(start_mask, dtype=xpn.bool_) if start_mask is not None else None
+        )
+        #: label-compatibility masks for labeled queries (empty = unlabeled)
+        self.vertex_ok = {
+            node: xpn.asarray(mask, dtype=xpn.bool_)
+            for node, mask in (vertex_ok or {}).items()
+        }
         #: per-color signature bits, indexed by data vertex color
-        self.bit = np.int64(1) << colors
+        self.bit = 1 << self.colors
         self._solved: Dict[int, object] = {}
         self._tcache: Dict[int, VecBinaryTable] = {}
         self._retired: List[object] = []
+
+    def _empty_path(self) -> VecPathTable:
+        empty = self.xp.empty(0, dtype=self.xp.int64)
+        return VecPathTable(empty, empty, empty, empty)
 
     def inject(self, block: Block, result: object) -> None:
         """Install (or overwrite) the solved table for ``block``.
@@ -420,6 +309,133 @@ class VectorizedSolver:
             # letting it be collected could recycle an id onto a new table
             self._retired.append(old)
         self._solved[id(block)] = result
+
+    # ------------------------------------------------------------------
+    # kernels (array analogues of repro.counting.kernels)
+    # ------------------------------------------------------------------
+
+    def _init_from_graph(
+        self,
+        ok_u: Optional[Array] = None,
+        ok_v: Optional[Array] = None,
+    ) -> VecPathTable:
+        """Seed cnt(u, v, {χu, χv}) = 1 from every directed edge, batched.
+
+        The repeat/gather over ``indptr`` emits all directed edges at
+        once; rows arrive already sorted by ``(u, v)`` because CSR slices
+        are sorted.  With ``start_mask`` only edges whose start vertex is
+        in the mask are seeded — the shard-restricted sweep used by the
+        ``ps-dist`` executor.  ``ok_u``/``ok_v`` are the label-
+        compatibility masks of the path's first two query nodes.
+        """
+        xp, colors, bit = self.xp, self.colors, self.bit
+        u = xp.repeat(xp.arange(self.g.n, dtype=xp.int64), self._degrees)
+        keep = colors[u] != colors[self._indices]
+        if self.start_mask is not None:
+            keep &= self.start_mask[u]
+        if ok_u is not None:
+            keep &= ok_u[u]
+        if ok_v is not None:
+            keep &= ok_v[self._indices]
+        u, v = u[keep], self._indices[keep]
+        return VecPathTable(u, v, bit[u] | bit[v], xp.ones(len(u), dtype=xp.int64))
+
+    def _init_from_child(self, child: VecBinaryTable) -> VecPathTable:
+        """Seed from an annotated edge's child projection table (copy-free)."""
+        if self.start_mask is None:
+            return VecPathTable(child.u, child.v, child.sig, child.cnt)
+        keep = self.start_mask[child.u]
+        return VecPathTable(child.u[keep], child.v[keep], child.sig[keep], child.cnt[keep])
+
+    def _extend_with_graph(
+        self, t: VecPathTable, ok_w: Optional[Array] = None
+    ) -> VecPathTable:
+        """EdgeJoin with the data graph: extend every path by every neighbour
+        of its end vertex whose color is unused, in one batched gather.
+        ``ok_w`` masks the new vertex by label compatibility."""
+        if len(t) == 0:
+            return self._empty_path()
+        xp, colors, bit = self.xp, self.colors, self.bit
+        rep, pos = _expand(self._indptr[t.v], self._degrees[t.v], xp)
+        w = self._indices[pos]
+        sig = t.sig[rep]
+        keep = ((sig >> colors[w]) & 1) == 0
+        if ok_w is not None:
+            keep &= ok_w[w]
+        rep, w, sig = rep[keep], w[keep], sig[keep]
+        (u, v, sig), cnt = _group_sum((t.u[rep], w, sig | bit[w]), t.cnt[rep], xp)
+        return VecPathTable(u, v, sig, cnt)
+
+    def _extend_with_child(self, t: VecPathTable, child: VecBinaryTable) -> VecPathTable:
+        """EdgeJoin with a child table: sort-merge join on the path end vertex.
+
+        Signatures must intersect exactly in the shared vertex's color
+        (``sig & sig2 == 1 << χv``) — the colorful-join discipline.
+        """
+        if len(t) == 0 or len(child) == 0:
+            return self._empty_path()
+        xp, bit = self.xp, self.bit
+        lo = xp.searchsorted(child.u, t.v, side="left")
+        hi = xp.searchsorted(child.u, t.v, side="right")
+        rep, pos = _expand(lo, hi - lo, xp)
+        sig1, sig2 = t.sig[rep], child.sig[pos]
+        keep = (sig1 & sig2) == bit[t.v[rep]]
+        rep, pos, sig1, sig2 = rep[keep], pos[keep], sig1[keep], sig2[keep]
+        _check_counts(t.cnt, xp)
+        _check_counts(child.cnt, xp)
+        (u, v, sig), cnt = _group_sum(
+            (t.u[rep], child.v[pos], sig1 | sig2), t.cnt[rep] * child.cnt[pos], xp
+        )
+        return VecPathTable(u, v, sig, cnt)
+
+    def _node_join(
+        self, t: VecPathTable, child: VecUnaryTable, on_start: bool
+    ) -> VecPathTable:
+        """NodeJoin: fold a unary child annotating the path's start or end."""
+        if len(t) == 0 or len(child) == 0:
+            return self._empty_path()
+        xp, bit = self.xp, self.bit
+        x = t.u if on_start else t.v
+        lo = xp.searchsorted(child.u, x, side="left")
+        hi = xp.searchsorted(child.u, x, side="right")
+        rep, pos = _expand(lo, hi - lo, xp)
+        sig1, sig2 = t.sig[rep], child.sig[pos]
+        keep = (sig1 & sig2) == bit[x[rep]]
+        rep, pos, sig1, sig2 = rep[keep], pos[keep], sig1[keep], sig2[keep]
+        _check_counts(t.cnt, xp)
+        _check_counts(child.cnt, xp)
+        (u, v, sig), cnt = _group_sum(
+            (t.u[rep], t.v[rep], sig1 | sig2), t.cnt[rep] * child.cnt[pos], xp
+        )
+        return VecPathTable(u, v, sig, cnt)
+
+    def _merge_paths(
+        self, tplus: VecPathTable, tminus: VecPathTable
+    ) -> Tuple[Array, Array, Array, Array]:
+        """Cycle merge: join the two path tables on their shared endpoints.
+
+        Both tables run start→end, so the join key is the ``(u, v)``
+        pair, encoded as ``u*n + v`` to make it one monotone
+        ``searchsorted`` axis.  Returns the raw matched rows
+        ``(u, v, sig1|sig2, cnt1*cnt2)`` — the caller aggregates
+        according to the block's boundary arity.
+        """
+        xp, bit, n = self.xp, self.bit, self.g.n
+        if len(tplus) == 0 or len(tminus) == 0:
+            empty = xp.empty(0, dtype=xp.int64)
+            return empty, empty, empty, empty
+        key_minus = tminus.u * n + tminus.v
+        key_plus = tplus.u * n + tplus.v
+        lo = xp.searchsorted(key_minus, key_plus, side="left")
+        hi = xp.searchsorted(key_minus, key_plus, side="right")
+        rep, pos = _expand(lo, hi - lo, xp)
+        sig1, sig2 = tplus.sig[rep], tminus.sig[pos]
+        u, v = tplus.u[rep], tplus.v[rep]
+        keep = (sig1 & sig2) == (bit[u] | bit[v])
+        rep, pos, u, v = rep[keep], pos[keep], u[keep], v[keep]
+        _check_counts(tplus.cnt, xp)
+        _check_counts(tminus.cnt, xp)
+        return u, v, sig1[keep] | sig2[keep], tplus.cnt[rep] * tminus.cnt[pos]
 
     # ------------------------------------------------------------------
     def solve(self, block: Block) -> object:
@@ -459,32 +475,28 @@ class VectorizedSolver:
         edge_tables: Dict[int, VecBinaryTable],
     ) -> VecPathTable:
         """Array analogue of ``build_path_table`` (PS: no pruning/extras)."""
-        colors, bit = self.colors, self.bit
         vertex_ok = self.vertex_ok
         child0 = edge_tables.get(0)
         if child0 is None:
-            t = _init_from_graph(
-                self.g, colors, bit, self.start_mask,
+            t = self._init_from_graph(
                 ok_u=vertex_ok.get(path_labels[0]),
                 ok_v=vertex_ok.get(path_labels[1]),
             )
         else:
-            t = _init_from_child(child0, self.start_mask)
+            t = self._init_from_child(child0)
         if path_labels[0] in node_tables:
-            t = _node_join(bit, t, node_tables[path_labels[0]], True)
+            t = self._node_join(t, node_tables[path_labels[0]], True)
         if path_labels[1] in node_tables:
-            t = _node_join(bit, t, node_tables[path_labels[1]], False)
+            t = self._node_join(t, node_tables[path_labels[1]], False)
         for j in range(1, len(path_labels) - 1):
             child = edge_tables.get(j)
             if child is None:
-                t = _extend_with_graph(
-                    self.g, colors, bit, t, ok_w=vertex_ok.get(path_labels[j + 1])
-                )
+                t = self._extend_with_graph(t, ok_w=vertex_ok.get(path_labels[j + 1]))
             else:
-                t = _extend_with_child(bit, t, child)
+                t = self._extend_with_child(t, child)
             nxt = path_labels[j + 1]
             if nxt in node_tables:
-                t = _node_join(bit, t, node_tables[nxt], False)
+                t = self._node_join(t, node_tables[nxt], False)
         return t
 
     def _solve_leaf(self, block: Block) -> VecUnaryTable:
@@ -494,8 +506,8 @@ class VectorizedSolver:
         if 0 in edge_children:
             edge_tables[0] = self._oriented(edge_children[0], a, b)
         pt = self._build_path((a, b), node_tables, edge_tables)
-        (u, sig), cnt = _group_sum((pt.u, pt.sig), pt.cnt)
-        return VecUnaryTable(a, u, sig, cnt)
+        (u, sig), cnt = _group_sum((pt.u, pt.sig), pt.cnt, self.xp)
+        return VecUnaryTable(a, u, sig, cnt, self.xp)
 
     def _solve_cycle(self, block: Block) -> object:
         nodes = block.nodes
@@ -542,37 +554,44 @@ class VectorizedSolver:
 
         tplus = self._build_path(plus_labels, plus_nodes, plus_edges)
         tminus = self._build_path(minus_labels, minus_nodes, minus_edges)
-        u, v, sig, cnt = _merge_paths(self.g.n, self.bit, tplus, tminus)
+        u, v, sig, cnt = self._merge_paths(tplus, tminus)
 
         if nb == 0:
-            assert cnt.size == 0 or bool(
-                (_popcount(sig) == self.k).all()
+            xp = self.xp
+            assert len(cnt) == 0 or xp.all(
+                xp.popcount(sig) == self.k
             ), "root signature size != k"
-            return _checked_total(cnt)
+            return _checked_total(cnt, xp)
         s_label, e_label = nodes[s_idx], nodes[e_idx]
         if nb == 1:
             img = u if boundary[0] == s_label else v
-            (bu, bsig), bcnt = _group_sum((img, sig), cnt)
-            return VecUnaryTable(boundary[0], bu, bsig, bcnt)
+            (bu, bsig), bcnt = _group_sum((img, sig), cnt, self.xp)
+            return VecUnaryTable(boundary[0], bu, bsig, bcnt, self.xp)
         images = tuple(u if lab == s_label else v for lab in boundary)
-        (bu, bv, bsig), bcnt = _group_sum((images[0], images[1], sig), cnt)
-        return VecBinaryTable((boundary[0], boundary[1]), bu, bv, bsig, bcnt)
+        (bu, bv, bsig), bcnt = _group_sum((images[0], images[1], sig), cnt, self.xp)
+        return VecBinaryTable(
+            (boundary[0], boundary[1]), bu, bv, bsig, bcnt, self.xp
+        )
 
 
 def solve_plan_vectorized(
     plan: Plan,
     g: Graph,
-    colors: np.ndarray,
+    colors: Array,
     num_colors: Optional[int] = None,
+    xp: NamespaceLike = None,
 ) -> int:
     """Number of colorful matches of ``plan.query`` in ``g`` under ``colors``.
 
     Semantics match :func:`repro.counting.solver.solve_plan` with
-    ``method="ps"`` exactly (bit-identical counts); only the execution
-    strategy differs.  No per-rank load attribution is available — use the
-    dict kernels for simulated-rank experiments.
+    ``method="ps"`` exactly (bit-identical counts, on every namespace);
+    only the execution strategy differs.  ``xp`` is an
+    :class:`~repro.counting.xp.ArrayNamespace` handle or spec string
+    (None: the process default).  No per-rank load attribution is
+    available — use the dict kernels for simulated-rank experiments.
     """
-    colors = np.asarray(colors, dtype=np.int64)
+    xpn = as_namespace(xp)
+    colors = xpn.asarray(colors, dtype=xpn.int64)
     k = plan.query.k
     kc = num_colors if num_colors is not None else k
     if kc < k:
@@ -581,14 +600,14 @@ def solve_plan_vectorized(
         raise ValueError(f"ps-vec packs signatures in int64; num_colors <= {MAX_COLORS_VEC}")
     if len(colors) != g.n:
         raise ValueError("coloring must assign a color to every data vertex")
-    if k > 0 and colors.size and (colors.min() < 0 or colors.max() >= kc):
+    if k > 0 and len(colors) and (int(xpn.min(colors)) < 0 or int(xpn.max(colors)) >= kc):
         raise ValueError(f"colors must lie in [0, {kc})")
     vertex_ok = label_masks(g, plan.query)
 
     root = plan.root
     if root.kind == SINGLETON:
         if root.node_ann:
-            solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok)
+            solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok, xp=xpn)
             (child,) = root.node_ann.values()
             return solver.solve(child).total()
         if vertex_ok:
@@ -596,7 +615,7 @@ def solve_plan_vectorized(
             return int(mask.sum())
         return g.n
 
-    solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok)
+    solver = VectorizedSolver(g, colors, k, vertex_ok=vertex_ok, xp=xpn)
     result = solver.solve(root)
     assert isinstance(result, int), "root cycle must produce a scalar"
     return result
@@ -605,11 +624,12 @@ def solve_plan_vectorized(
 def solve_block_shard(
     block: Block,
     g: Graph,
-    colors: np.ndarray,
+    colors: Array,
     k: int,
     children: Sequence[Tuple[Block, object]] = (),
-    start_mask: Optional[np.ndarray] = None,
-    vertex_ok: Optional[Dict[Node, np.ndarray]] = None,
+    start_mask: Optional[Array] = None,
+    vertex_ok: Optional[Dict[Node, Array]] = None,
+    xp: NamespaceLike = None,
 ) -> object:
     """Solve one block's table restricted to ``start_mask`` start vertices.
 
@@ -623,8 +643,13 @@ def solve_block_shard(
     path row lives in exactly one shard).  ``vertex_ok`` carries the
     label-compatibility masks of a labeled query (orthogonal to the
     shard mask: labels filter per query node, shards per start vertex).
+    ``xp`` selects the array namespace; the executor pins its workers to
+    the host (:func:`~repro.counting.xp.cpu_namespace`) because shard
+    tables cross process pipes.
     """
-    solver = VectorizedSolver(g, colors, k, start_mask=start_mask, vertex_ok=vertex_ok)
+    solver = VectorizedSolver(
+        g, colors, k, start_mask=start_mask, vertex_ok=vertex_ok, xp=xp
+    )
     for child, table in children:
         solver.inject(child, table)
     return solver.solve(block)
@@ -636,7 +661,8 @@ def count_colorful_ps_vec(
     colors: Sequence[int],
     plan: Optional[Plan] = None,
     num_colors: Optional[int] = None,
+    xp: NamespaceLike = None,
 ) -> int:
     """Colorful matches of ``query`` in ``g`` via the vectorized PS kernels."""
     plan = plan if plan is not None else heuristic_plan(query)
-    return solve_plan_vectorized(plan, g, np.asarray(colors, dtype=np.int64), num_colors=num_colors)
+    return solve_plan_vectorized(plan, g, colors, num_colors=num_colors, xp=xp)

@@ -46,6 +46,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from ..counting.labels import label_masks_from_arrays
+from ..counting.xp import cpu_namespace
 from ..counting.vectorized import (
     MAX_COLORS_VEC,
     VecBinaryTable,
@@ -238,12 +239,16 @@ def _worker_main(
                     plans[msg[1]] = msg[2].blocks()
                 elif op == "trial":
                     blocks = plans[msg[1]]
+                    # shard tables live in shared memory and cross pipes as
+                    # raw NumPy buffers, so workers pin a CPU namespace —
+                    # strict still applies (it wraps NumPy), CUDA never does
                     solver = VectorizedSolver(
                         g,
                         colors,
                         msg[2],
                         start_mask=start_mask,
                         vertex_ok=label_masks_from_arrays(labels, msg[3]),
+                        xp=cpu_namespace(),
                     )
                     pending_error = None  # stale failures die with their trial
                 elif op == "block":

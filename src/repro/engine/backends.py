@@ -39,6 +39,13 @@ from ..counting.bruteforce import count_colorful_matches
 from ..counting.solver import METHODS, VEC_METHOD, solve_plan
 from ..counting.treelet import count_colorful_treelet
 from ..counting.vectorized import MAX_COLORS_VEC, solve_plan_vectorized
+from ..counting.xp import (
+    ArrayNamespace,
+    BackendUnavailable,
+    NamespaceLike,
+    as_namespace,
+    gpu_namespace,
+)
 
 __all__ = [
     "CountingBackend",
@@ -51,6 +58,7 @@ __all__ = [
     "VEC_AUTO_MIN_SIZE",
     "DIST_AUTO_MIN_SIZE",
     "DIST_METHOD",
+    "GPU_METHOD",
 ]
 
 #: sentinel method name resolved per query by the registry
@@ -69,6 +77,9 @@ DIST_AUTO_MIN_SIZE = 150_000
 
 #: registry name of the sharded multiprocess backend
 DIST_METHOD = "ps-dist"
+
+#: registry name of the CUDA vectorized backend; never picked by ``auto``
+GPU_METHOD = "ps-gpu"
 
 
 class CountingBackend:
@@ -89,6 +100,17 @@ class CountingBackend:
     #: whether ``workers`` means shard processes (engine passes a pooled
     #: executor and runs trials sequentially) rather than trial fan-out
     distributed: bool = False
+    #: whether :meth:`count_colorful` accepts a ``namespace`` kwarg (the
+    #: array-namespace knob threaded from EngineConfig/CountRequest)
+    uses_namespace: bool = False
+
+    def namespace_handle(self, namespace: NamespaceLike = None) -> ArrayNamespace:
+        """Resolve the array namespace this backend would execute on.
+
+        Only meaningful when ``uses_namespace``; the engine calls this to
+        record the resolved name in RunResult provenance.
+        """
+        return as_namespace(namespace)
 
     def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Whether this backend can count ``query`` under the palette."""
@@ -162,6 +184,7 @@ class VectorizedBackend(CountingBackend):
     name = VEC_METHOD
     needs_plan = True
     tracks_load = False
+    uses_namespace = True
 
     def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
         """Any query, as long as the palette fits one signature word."""
@@ -176,13 +199,66 @@ class VectorizedBackend(CountingBackend):
         plan: Optional[Plan] = None,
         ctx: Optional[ExecutionContext] = None,
         num_colors: Optional[int] = None,
+        namespace: NamespaceLike = None,
     ) -> int:
-        """Solve the plan with the vectorized PS kernels (ctx is ignored)."""
+        """Solve the plan with the vectorized PS kernels (ctx is ignored).
+
+        ``namespace`` picks the array handle (None: the process default,
+        normally NumPy); counts are bit-identical across namespaces.
+        """
         self.check(query, num_colors)
         plan = plan if plan is not None else heuristic_plan(query)
         return solve_plan_vectorized(
-            plan, g, np.asarray(colors), num_colors=num_colors
+            plan, g, np.asarray(colors), num_colors=num_colors,
+            xp=self.namespace_handle(namespace),
         )
+
+
+class GpuBackend(VectorizedBackend):
+    """``ps-gpu`` — the same vectorized sweep, pinned to a CUDA namespace.
+
+    Identical kernels to ``ps-vec``: the audited seam in
+    :mod:`repro.counting.xp` is the only difference in execution (arrays
+    live on the device; CSR/coloring/label masks transfer at solver
+    construction, one Python scalar comes back per block root).
+
+    Availability is a *device* property: :meth:`supports` is False on
+    hosts without CuPy/torch + CUDA, and ``method="auto"`` never selects
+    this backend — silently moving a workload onto a GPU would change
+    its performance envelope and memory residency behind the caller's
+    back.  Counts remain bit-identical to ``ps``/``ps-vec`` (int64
+    arithmetic is exact on every namespace).
+    """
+
+    name = GPU_METHOD
+
+    def namespace_handle(self, namespace: NamespaceLike = None) -> ArrayNamespace:
+        """A CUDA handle (CuPy preferred, then torch); never a CPU one."""
+        if isinstance(namespace, str) or namespace is None:
+            return gpu_namespace(namespace)
+        if getattr(namespace, "device", "cpu") != "cuda":
+            raise ValueError(
+                f"method 'ps-gpu' requires a CUDA namespace, got {namespace!r}"
+            )
+        return namespace
+
+    def supports(self, query: QueryGraph, num_colors: Optional[int] = None) -> bool:
+        """Palette fits one int64 word *and* a CUDA namespace is usable."""
+        if not super().supports(query, num_colors):
+            return False
+        try:
+            gpu_namespace(None)
+        except (BackendUnavailable, ValueError):
+            return False
+        return True
+
+    def check(self, query: QueryGraph, num_colors: Optional[int] = None) -> None:
+        """Raise with the device-side reason, not just 'unsupported'."""
+        try:
+            gpu_namespace(None)
+        except BackendUnavailable as exc:
+            raise ValueError(str(exc)) from exc
+        super().check(query, num_colors)
 
 
 class DistributedBackend(CountingBackend):
@@ -444,6 +520,7 @@ def _make_default_registry() -> BackendRegistry:
     for method in METHODS:  # ps, db, ps-even
         reg.register(SolverBackend(method))
     reg.register(VectorizedBackend())
+    reg.register(GpuBackend())
     reg.register(DistributedBackend())
     reg.register(TreeletBackend())
     reg.register(BruteforceBackend())

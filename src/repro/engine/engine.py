@@ -92,16 +92,19 @@ def _init_worker(
     query: QueryGraph,
     plan: Optional[Plan],
     num_colors: Optional[int],
+    extra: Dict[str, object],
 ) -> None:  # pragma: no cover
     _WORKER_STATE.update(
-        backend=backend, graph=graph, query=query, plan=plan, num_colors=num_colors
+        backend=backend, graph=graph, query=query, plan=plan,
+        num_colors=num_colors, extra=extra,
     )
 
 
 def _run_trial(colors: Sequence[int]) -> int:  # pragma: no cover - runs in subprocess
     s = _WORKER_STATE
     return s["backend"].count_colorful(
-        s["graph"], s["query"], colors, plan=s["plan"], num_colors=s["num_colors"]
+        s["graph"], s["query"], colors, plan=s["plan"],
+        num_colors=s["num_colors"], **s["extra"],
     )
 
 
@@ -329,6 +332,7 @@ class CountingEngine:
         return backend.count_colorful(
             self.graph, query, colors, plan=plan, ctx=ctx, num_colors=num_colors,
             **self._distributed_extra(backend, self.config.workers),
+            **self._namespace_extra(backend, self.config.namespace),
         )
 
     def _distributed_extra(self, backend: SolverBackend, workers: int) -> Dict[str, object]:
@@ -341,6 +345,17 @@ class CountingEngine:
             partition=self.config.partition_strategy,
             executor=self.executor_for(workers),
         )
+
+    def _namespace_extra(
+        self, backend: SolverBackend, namespace: Optional[str]
+    ) -> Dict[str, object]:
+        """Extra kwargs for a namespace-aware backend: the array-namespace
+        spec it resolves at execution time (empty outside the seam).  The
+        spec string crosses process boundaries, not a live handle — fork
+        workers resolve their own (GPU contexts don't survive fork)."""
+        if not backend.uses_namespace:
+            return {}
+        return {"namespace": namespace}
 
     def count(self, request: Union[CountRequest, QueryGraph], **overrides: object) -> RunResult:
         """Estimate the match count of one query.
@@ -399,6 +414,12 @@ class CountingEngine:
         # for a distributed backend ``workers`` is the shard count: trials
         # run sequentially, each sharded across the pooled worker processes
         distributed = backend.distributed
+        # resolve the namespace up front: provenance records what actually
+        # ran, and an unavailable explicit namespace fails before any work
+        namespace = (
+            backend.namespace_handle(r.namespace).name
+            if backend.uses_namespace else None
+        )
 
         plan, plan_cached = r.plan, r.plan is not None
         if plan is not None:
@@ -429,14 +450,15 @@ class CountingEngine:
             not distributed
             and workers > 1 and r.trials >= 2 and ctx is None and fork is not None
         )
-        extra = self._distributed_extra(backend, workers)
+        ns_extra = self._namespace_extra(backend, r.namespace)
+        extra = {**self._distributed_extra(backend, workers), **ns_extra}
         t0 = time.perf_counter()
         trial_times: Optional[List[float]]
         if parallel:
             with fork.Pool(
                 processes=workers,
                 initializer=_init_worker,
-                initargs=(backend, self.graph, q, plan, r.num_colors),
+                initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
             ) as pool:
                 counts = pool.map(_run_trial, colorings)
             trial_times = None
@@ -469,6 +491,7 @@ class CountingEngine:
             seed=r.seed,
             num_colors=kc,
             workers=workers,
+            namespace=namespace,
             plan=plan,
             plan_cached=plan_cached,
             trial_times=trial_times,

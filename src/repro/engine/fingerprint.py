@@ -62,6 +62,7 @@ _FINGERPRINT_FIELDS = (
     "workers",
     "nranks",
     "coloring_strategy",
+    "namespace",
 )
 
 

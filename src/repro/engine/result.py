@@ -48,6 +48,9 @@ class RunResult(EstimateResult):
     seed: int = 0
     num_colors: int = 0
     workers: int = 1
+    #: resolved array namespace the backend executed under ("numpy",
+    #: "strict", ...); ``None`` for backends that do not use the seam
+    namespace: Optional[str] = None
     plan: Optional[Plan] = None
     plan_cached: bool = False
     trial_times: Optional[List[float]] = None
@@ -103,6 +106,7 @@ class RunResult(EstimateResult):
             "seed": self.seed,
             "num_colors": self.num_colors,
             "workers": self.workers,
+            "namespace": self.namespace,
             "plan": dict(digest) if digest is not None else None,
             "plan_cached": bool(self.plan_cached),
             "trial_times": (
@@ -137,6 +141,10 @@ class RunResult(EstimateResult):
             seed=int(doc.get("seed", 0)),
             num_colors=int(doc.get("num_colors", 0)),
             workers=int(doc.get("workers", 1)),
+            namespace=(
+                str(doc["namespace"])
+                if doc.get("namespace") is not None else None
+            ),
             plan=None,
             plan_cached=bool(doc.get("plan_cached", False)),
             trial_times=(

@@ -24,6 +24,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from ..counting.xp import BackendUnavailable, resolve_namespace
 from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
 from ..engine.backends import DEFAULT_REGISTRY
 from ..engine.fingerprint import request_fingerprint
@@ -46,7 +47,8 @@ __all__ = [
 #: request fields a client may override per call (everything else is
 #: fixed by the service's EngineConfig)
 REQUEST_FIELDS = (
-    "method", "trials", "seed", "num_colors", "workers", "coloring_strategy", "labels",
+    "method", "trials", "seed", "num_colors", "workers", "coloring_strategy",
+    "namespace", "labels",
 )
 
 #: upper bounds on the untrusted per-request knobs — one HTTP client
@@ -184,7 +186,9 @@ class CountingService:
             value = params.get(field)
             if value is None:
                 continue
-            coerce = str if field in ("method", "coloring_strategy") else int
+            coerce = (
+                str if field in ("method", "coloring_strategy", "namespace") else int
+            )
             try:
                 coerced = coerce(value)
             except (TypeError, ValueError):
@@ -203,6 +207,13 @@ class CountingService:
                 f"unknown method {request.method!r}; use one of "
                 f"{DEFAULT_REGISTRY.names()} or 'auto'"
             )
+        if request.namespace is not None:
+            # resolve eagerly: a typo'd or unavailable namespace (cupy
+            # with no device) is a 400 here, not a dead queued job
+            try:
+                resolve_namespace(str(request.namespace))
+            except (ValueError, BackendUnavailable) as exc:
+                raise BadRequestError(str(exc)) from None
         if not 1 <= int(request.trials) <= MAX_TRIALS:
             raise BadRequestError(f"trials must be in [1, {MAX_TRIALS}]")
         if not 1 <= int(request.workers) <= MAX_WORKERS:

@@ -107,6 +107,11 @@ def test_golden_counts_backend_independent():
     with CountingEngine(dataset("condmat"), GOLDEN_CONFIG) as engine:
         r = engine.count(paper_queries()["glet1"], method="ps")
         assert r.colorful_counts == golden["unlabeled"]["condmat"]["glet1"]
+        # ...and not an array-namespace artifact either: the strict
+        # audited-primitive stub reproduces the same slice bit for bit
+        s = engine.count(paper_queries()["glet1"], namespace="strict")
+        assert s.namespace == "strict"
+        assert s.colorful_counts == golden["unlabeled"]["condmat"]["glet1"]
     with CountingEngine(_labeled_dataset("condmat"), GOLDEN_CONFIG) as engine:
         r = engine.count(labeled_queries()["tri-001"], method="ps")
         assert r.colorful_counts == golden["labeled"]["condmat"]["tri-001"]
