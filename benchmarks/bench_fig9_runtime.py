@@ -19,11 +19,16 @@ import time
 import numpy as np
 
 from repro.bench import bench_record, dataset, geometric_mean
-from repro.counting import count_colorful
 from repro.counting.xp import default_namespace
+from repro.engine import CountingEngine
 from repro.query import paper_query
 
 from bench_common import BENCH_SEED, bench_plan, coloring_for, emit_bench_json, emit_table
+
+
+def count_colorful(g, q, colors, method="db", plan=None):
+    """Bench-local adapter: one colorful count through an ephemeral engine."""
+    return CountingEngine(g).count_colorful(q, colors, method=method, plan=plan)
 
 GRAPHS = ["condmat", "astroph", "enron", "brightkite", "roadnetca", "brain", "epinions"]
 QUERIES = ["glet1", "glet2", "youtube", "wiki", "dros"]

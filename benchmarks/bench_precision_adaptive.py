@@ -1,0 +1,62 @@
+"""Adaptive-precision scheduling: trials saved vs a fixed schedule.
+
+The color-coding estimator's cost is linear in trials, but the trials
+*needed* for a target relative error vary by an order of magnitude
+across (graph, query) cells — per-trial variance is a property of the
+workload a fixed ``trials=N`` caller cannot see.  The adaptive
+scheduler (``PrecisionSpec(rel_error=...)``) runs every cell to the
+same 5% @ 95% target and stops each at its own convergence point; the
+fixed baseline must provision the *worst-case* realised trial count to
+make the same guarantee everywhere.
+
+This is the same sweep CI's ``precision-smoke`` job runs through
+``python -m repro.bench --precision-smoke``; the committed
+``BENCH_precision.json`` is its evidence record.
+
+Gates: every cell reaches the target (asserted inside
+:func:`run_precision_smoke` — savings can never be bought by
+under-delivering on error), no cell exceeds the fixed baseline, and
+the geomean trials-saved factor clears 1.5x.
+"""
+
+from repro.bench import run_precision_smoke
+from repro.engine import EngineConfig
+
+from bench_common import emit_bench_json, emit_table
+
+MIN_GEOMEAN_SAVINGS = 1.5
+
+
+def test_precision_adaptive_savings(benchmark):
+    doc = run_precision_smoke(config=EngineConfig(seed=0))
+    emit_table(
+        "precision_adaptive",
+        doc["records"],
+        columns=["key", "trials_used", "stopped_early", "trials_saved",
+                 "rel_halfwidth", "seconds"],
+        title=(f"Adaptive precision ({doc['rel_error']:g} rel error @ "
+               f"{doc['confidence']:g} confidence; fixed worst case "
+               f"{doc['trials_fixed_worst_case']} trials)"),
+    )
+    emit_bench_json(
+        "precision", doc["records"],
+        **{k: v for k, v in doc.items() if k != "records"},
+    )
+
+    fixed = doc["trials_fixed_worst_case"]
+    for rec in doc["records"]:
+        # the adaptive scheduler never runs more than the fixed schedule
+        assert rec["trials_used"] <= fixed, rec["key"]
+        # ...and certified the target precision when it stopped
+        assert rec["rel_halfwidth"] <= doc["rel_error"] * (1 + 1e-9), rec["key"]
+    assert doc["geomean_trials_saved"] >= MIN_GEOMEAN_SAVINGS
+
+    # pytest-benchmark number: one representative adaptive cell
+    from repro.bench import dataset
+    from repro.engine import CountingEngine, PrecisionSpec
+    from repro.query import paper_query
+
+    engine = CountingEngine(dataset("roadnetca"))
+    q = paper_query("wiki")
+    spec = PrecisionSpec(rel_error=0.05, max_trials=400)
+    benchmark(lambda: engine.count(q, method="ps-vec", precision=spec).trials_used)

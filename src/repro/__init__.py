@@ -26,7 +26,7 @@ __version__ = "1.1.0"
 # Convenience re-exports for the quickstart path.
 from .counting import count, count_colorful, count_exact, estimate_matches, make_context
 from .decomposition import build_decomposition, choose_plan, enumerate_plans
-from .engine import CountingEngine, CountRequest, EngineConfig, RunResult
+from .engine import CountingEngine, CountRequest, EngineConfig, PrecisionSpec, RunResult
 from .graph import Graph
 from .query import QueryGraph, paper_queries, paper_query
 
@@ -38,6 +38,7 @@ __all__ = [
     "CountingEngine",
     "CountRequest",
     "EngineConfig",
+    "PrecisionSpec",
     "RunResult",
     "count",
     "count_colorful",

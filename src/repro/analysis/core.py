@@ -223,6 +223,12 @@ class AnalysisConfig:
                 non_wire=("plan", "ctx"),
             ),
             WireContract(
+                cls="PrecisionSpec",
+                path_suffix="engine/config.py",
+                serializers=("to_dict",),
+                deserializers=("coerce",),
+            ),
+            WireContract(
                 cls="RunResult",
                 path_suffix="engine/result.py",
                 renames={"plan_digest": "plan"},

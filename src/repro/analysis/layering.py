@@ -19,9 +19,9 @@ into the substrate layer because every counting kernel threads an
 the counting kernels and sits above them.
 
 Only **module-level** imports bind layers: a function-body import is
-the sanctioned lazy escape hatch (the deprecated ``counting.api``
-facade and ``bench.serve`` use it deliberately), and imports under
-``if TYPE_CHECKING:`` never execute at runtime.
+the sanctioned lazy escape hatch (``bench.serve`` uses it
+deliberately), and imports under ``if TYPE_CHECKING:`` never execute
+at runtime.
 """
 
 from __future__ import annotations

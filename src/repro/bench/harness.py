@@ -36,7 +36,7 @@ import time
 from contextlib import contextmanager
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
+from ..engine import CountingEngine, CountRequest, EngineConfig, PrecisionSpec, RunResult
 from ..graph.graph import Graph
 
 __all__ = [
@@ -58,7 +58,12 @@ __all__ = [
     "compare_to_baseline",
     "run_perf_smoke",
     "run_scaling_bench",
+    "run_precision_smoke",
     "PERF_SMOKE_GRID",
+    "PRECISION_GRID",
+    "PRECISION_REL_ERROR",
+    "PRECISION_CONFIDENCE",
+    "PRECISION_MAX_TRIALS",
     "STRICT_OVERHEAD_CELL",
     "STRICT_OVERHEAD_LIMIT",
     "SCALING_GRID",
@@ -465,6 +470,111 @@ def run_perf_smoke(
 
 
 # ----------------------------------------------------------------------
+# adaptive-precision bench (trials saved vs a fixed worst-case schedule)
+# ----------------------------------------------------------------------
+
+#: the precision grid: per-trial variance differs widely across these
+#: cells, which is exactly what a fixed trial schedule cannot exploit —
+#: it must provision for the worst cell while the adaptive scheduler
+#: stops each cell at its own convergence point
+PRECISION_GRID = (
+    ("condmat", "glet1"),
+    ("condmat", "youtube"),
+    ("enron", "glet1"),
+    ("enron", "glet2"),
+    ("epinions", "glet1"),
+    ("roadnetca", "glet1"),
+    ("roadnetca", "wiki"),
+)
+
+#: the smoke target: 5% relative error at 95% confidence
+PRECISION_REL_ERROR = 0.05
+PRECISION_CONFIDENCE = 0.95
+#: the adaptive cap — also the ceiling a fixed schedule may not exceed
+PRECISION_MAX_TRIALS = 400
+
+
+def run_precision_smoke(
+    rel_error: float = PRECISION_REL_ERROR,
+    confidence: float = PRECISION_CONFIDENCE,
+    max_trials: int = PRECISION_MAX_TRIALS,
+    config: Optional[EngineConfig] = None,
+) -> Dict[str, object]:
+    """Adaptive-precision sweep: trials saved vs a fixed worst-case schedule.
+
+    Every grid cell runs adaptively to the same ``(rel_error,
+    confidence)`` target under one shared cap.  The fixed-schedule
+    baseline is the *worst-case* realised trial count over the grid —
+    what a bare ``trials=N`` caller must provision to hit the target on
+    every cell without knowing per-cell variance in advance.  Per-cell
+    savings is ``worst_case / trials_used``; the document's
+    ``geomean_trials_saved`` is the figure the CI gate asserts.
+
+    Two invariants are checked here (not just gated downstream): each
+    cell's realised trial count never exceeds the fixed baseline, and
+    each cell actually reached the requested precision (its final CI
+    half-width is within the target), so the savings can never be
+    bought by under-delivering on error.
+    """
+    from .datasets import dataset
+    from ..query.library import paper_query
+
+    cfg = config if config is not None else EngineConfig()
+    spec = PrecisionSpec(
+        rel_error=rel_error, confidence=confidence, max_trials=max_trials
+    )
+    cells: List[Dict[str, object]] = []
+    for gname, qname in PRECISION_GRID:
+        engine = engine_for(dataset(gname), cfg)
+        q = paper_query(qname)
+        t0 = time.perf_counter()
+        # ps-vec: every precision cell is an unlabeled paper query under
+        # the exact-k palette, and the vectorized kernel keeps the many-
+        # trial sweep cheap enough for a CI smoke lane
+        res = engine.count(q, method="ps-vec", precision=spec)
+        seconds = time.perf_counter() - t0
+        if res.ci_low is None or res.ci_high is None or res.estimate <= 0:
+            raise AssertionError(
+                f"precision cell {gname}/{qname} produced no interval "
+                f"(estimate={res.estimate}); cannot certify the target"
+            )
+        halfwidth = (res.ci_high - res.ci_low) / (2.0 * res.estimate)
+        if halfwidth > rel_error * (1.0 + 1e-9):
+            raise AssertionError(
+                f"precision cell {gname}/{qname} missed the target: "
+                f"rel halfwidth {halfwidth:.4f} > {rel_error:g} "
+                f"after {res.trials_used} trials (cap {max_trials})"
+            )
+        cells.append(
+            bench_record(
+                "precision", gname, qname, "ps-vec-adaptive", seconds,
+                trials_used=res.trials_used,
+                stopped_early=res.stopped_early,
+                rel_halfwidth=halfwidth,
+                estimate=res.estimate,
+            )
+        )
+    worst_case = max(int(c["trials_used"]) for c in cells)
+    for c in cells:
+        used = int(c["trials_used"])
+        if used > worst_case:  # pragma: no cover - max() invariant
+            raise AssertionError(
+                f"{c['key']}: adaptive used {used} > fixed baseline {worst_case}"
+            )
+        c["trials_saved"] = worst_case / used
+    geomean = geometric_mean([float(c["trials_saved"]) for c in cells])
+    return {
+        "rel_error": rel_error,
+        "confidence": confidence,
+        "max_trials": max_trials,
+        "seed": cfg.seed,
+        "trials_fixed_worst_case": worst_case,
+        "geomean_trials_saved": geomean,
+        "records": cells,
+    }
+
+
+# ----------------------------------------------------------------------
 # strong-scaling bench (real sharded execution, paper Figure 13 shape)
 # ----------------------------------------------------------------------
 
@@ -620,6 +730,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="run the counting-service throughput bench instead of perf-smoke",
     )
     parser.add_argument(
+        "--precision-smoke", action="store_true",
+        help="run the adaptive-precision bench (trials saved vs a fixed "
+        "worst-case schedule) instead of perf-smoke",
+    )
+    parser.add_argument(
+        "--rel-error", type=float, default=PRECISION_REL_ERROR, metavar="EPS",
+        help="with --precision-smoke: target relative error (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--confidence", type=float, default=PRECISION_CONFIDENCE, metavar="C",
+        help="with --precision-smoke: confidence level (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--assert-savings", type=float, default=None, metavar="X",
+        help="with --precision-smoke: exit 1 unless the geomean trials-saved "
+        "factor vs the fixed worst-case schedule is >= X",
+    )
+    parser.add_argument(
         "--duration", type=float, default=1.0,
         help="with --serve-smoke: seconds per cached-path timing loop "
         "(default: %(default)s)",
@@ -652,6 +780,30 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.assert_qps is not None and doc["cached_qps"] < args.assert_qps:
             print(f"FAIL: cached-path throughput {doc['cached_qps']:.0f} req/s "
                   f"< required {args.assert_qps:g} req/s")
+            return 1
+        return 0
+
+    if args.precision_smoke:
+        doc = run_precision_smoke(
+            rel_error=args.rel_error, confidence=args.confidence, config=config
+        )
+        print_table(
+            doc["records"],
+            columns=["key", "trials_used", "stopped_early", "trials_saved",
+                     "rel_halfwidth", "seconds"],
+            title=(f"adaptive precision ({doc['rel_error']:g} rel error @ "
+                   f"{doc['confidence']:g} confidence)"),
+        )
+        print(f"[fixed worst-case schedule: {doc['trials_fixed_worst_case']} trials]")
+        print(f"[geomean trials saved: {doc['geomean_trials_saved']:.2f}x]")
+        if args.emit_json:
+            meta = {k: v for k, v in doc.items() if k != "records"}
+            path = write_bench_json(args.emit_json, doc["records"], **meta)
+            print(f"[bench json written to {path}]")
+        if (args.assert_savings is not None
+                and doc["geomean_trials_saved"] < args.assert_savings):
+            print(f"FAIL: geomean trials saved {doc['geomean_trials_saved']:.2f}x "
+                  f"< required {args.assert_savings:g}x")
             return 1
         return 0
 

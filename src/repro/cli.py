@@ -27,7 +27,7 @@ from .decomposition.enumeration import enumerate_plans
 from .decomposition.planner import choose_plan
 from .graph.io import read_edge_list
 from .graph.properties import graph_summary
-from .engine import CountingEngine, available_backends
+from .engine import CountingEngine, PrecisionSpec, available_backends
 from .query.automorphisms import automorphism_count
 from .query.library import (
     PAPER_QUERY_SIZES,
@@ -99,6 +99,27 @@ def _apply_graph_labels(g, spec: str):
     return g.with_labels(values)
 
 
+def _parse_precision(args: argparse.Namespace) -> Optional[PrecisionSpec]:
+    """``--rel-error``/``--confidence``/``--min-trials``/``--max-trials``
+    → a :class:`PrecisionSpec`, or ``None`` to fall back on ``--trials``.
+
+    The spec is built through the same :meth:`PrecisionSpec.coerce`
+    grammar the service wire format uses, so CLI and JSON spellings
+    validate identically.
+    """
+    if args.rel_error is None and args.min_trials is None and args.max_trials is None:
+        return None
+    doc: dict = {}
+    if args.rel_error is not None:
+        doc["rel_error"] = args.rel_error
+        doc["confidence"] = args.confidence
+    if args.min_trials is not None:
+        doc["min_trials"] = args.min_trials
+    if args.max_trials is not None:
+        doc["max_trials"] = args.max_trials
+    return PrecisionSpec.coerce(doc)
+
+
 def _cmd_count(args: argparse.Namespace) -> int:
     try:
         g = _load_graph(args.graph)
@@ -107,10 +128,12 @@ def _cmd_count(args: argparse.Namespace) -> int:
             g = _apply_graph_labels(g, args.graph_labels)
         if args.labels:
             q = q.with_labels(_parse_query_labels(q, args.labels))
+        precision = _parse_precision(args)
         with CountingEngine(g, partition_strategy=args.partition) as engine:
             result = engine.count(
                 q,
                 trials=args.trials,
+                precision=precision,
                 seed=args.seed,
                 method=args.method,
                 num_colors=args.num_colors,
@@ -122,13 +145,19 @@ def _cmd_count(args: argparse.Namespace) -> int:
     palette = f", num_colors={result.num_colors}" if result.num_colors != q.k else ""
     workers = f", workers={result.workers}" if result.workers > 1 else ""
     labeled = " labeled" if q.labels is not None else ""
+    trials_bit = f"trials={result.trials_used}"
+    if result.stopped_early:
+        trials_bit += f" (early stop, cap {precision.max_trials})" if precision else " (early stop)"
     print(f"graph          : {g.name} (n={g.n}, m={g.m}"
           + (f", labels={g.num_labels()}" if g.labels is not None else "") + ")")
     print(f"query          : {q.name} (k={q.k}{labeled})")
-    print(f"method         : {result.method}, trials={args.trials}{palette}{workers}")
+    print(f"method         : {result.method}, {trials_bit}{palette}{workers}")
     print(f"colorful counts: {result.colorful_counts}")
     print(f"match estimate : {result.estimate:.6g}")
     print(f"subgraph est.  : {result.estimate / automorphism_count(q):.6g}")
+    if result.ci_low is not None and result.ci_high is not None:
+        conf = precision.confidence if precision is not None else 0.95
+        print(f"{conf:.0%} CI         : [{result.ci_low:.6g}, {result.ci_high:.6g}]")
     print(f"rel. std       : {result.relative_std:.4f}")
     print(f"elapsed        : {result.wall_clock:.2f}s")
     return 0
@@ -289,7 +318,27 @@ def build_parser() -> argparse.ArgumentParser:
         default="db",
         help="counting backend; 'auto' picks per query (default: db)",
     )
-    p_count.add_argument("--trials", type=int, default=5)
+    p_count.add_argument("--trials", type=int, default=5,
+                         help="fixed trial count (ignored when --rel-error / "
+                         "--min-trials / --max-trials request a precision run)")
+    p_count.add_argument(
+        "--rel-error", type=float, default=None, metavar="EPS",
+        help="adaptive precision: stop once the estimate's relative CI "
+        "half-width is below EPS (e.g. 0.05) at --confidence",
+    )
+    p_count.add_argument(
+        "--confidence", type=float, default=0.95, metavar="C",
+        help="confidence level for the --rel-error stopping rule and the "
+        "reported interval (default: %(default)s)",
+    )
+    p_count.add_argument(
+        "--min-trials", type=int, default=None, metavar="N",
+        help="floor before adaptive stopping may trigger (default: 3)",
+    )
+    p_count.add_argument(
+        "--max-trials", type=int, default=None, metavar="N",
+        help="hard cap on adaptive trials (default: 200)",
+    )
     p_count.add_argument("--seed", type=int, default=0)
     p_count.add_argument(
         "--num-colors", type=int, default=None,

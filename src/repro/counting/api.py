@@ -1,16 +1,20 @@
-"""High-level counting API — deprecated shims over :mod:`repro.engine`.
+"""High-level counting API — **removed**, hard stubs over :mod:`repro.engine`.
 
 .. deprecated::
-    These free functions predate the session-oriented
-    :class:`repro.engine.CountingEngine`, which caches decomposition
-    plans, batches queries and exposes pluggable backends.  They remain
-    as thin wrappers (one ephemeral engine per call) for backward
-    compatibility::
+    These free functions predated the session-oriented
+    :class:`repro.engine.CountingEngine` and spent one deprecation cycle
+    as delegating shims.  They are now *hard stubs*: importable (so old
+    code fails at the call, with a precise migration hint, rather than
+    at import time with a bare ``ImportError``) but raising
+    :class:`DeprecationWarning` when called::
 
-        # legacy                      # preferred
+        # removed                     # replacement
         counting.count(g, q, ...)     CountingEngine(g).count(q, ...)
         counting.count_colorful(...)  CountingEngine(g).count_colorful(...)
         counting.count_exact(g, q)    CountingEngine(g).count_exact(q)
+        counting.make_context(g, n)   CountingEngine(g).make_context(n)
+
+    The full migration table lives in ``docs/API.md``.
 
 Typical modern use::
 
@@ -23,15 +27,7 @@ Typical modern use::
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
-
-from ._deprecation import warn_once_per_site
-from ..decomposition.tree import Plan
-from ..distributed.partition import make_partition
-from ..distributed.runtime import ExecutionContext
-from ..graph.graph import Graph
-from ..query.query import QueryGraph
-from .estimator import EstimateResult
+from typing import NoReturn
 
 __all__ = [
     "count_colorful",
@@ -41,79 +37,28 @@ __all__ = [
 ]
 
 
-def _deprecated(old: str, new: str) -> None:
-    # stacklevel 3: warn_once_per_site's caller is this helper (1), the
-    # deprecated shim (2), and the user's call site (3) — warned once each
-    warn_once_per_site(
-        f"repro.counting.{old} is deprecated; use repro.engine.{new}",
-        stacklevel=3,
+def _removed(old: str, new: str) -> NoReturn:
+    raise DeprecationWarning(
+        f"repro.counting.{old} has been removed; use repro.engine.{new} "
+        "(see docs/API.md for the migration table)"
     )
 
 
-def make_context(
-    g: Graph, nranks: int = 1, strategy: str = "block", track: bool = True
-) -> ExecutionContext:
-    """Execution context simulating ``nranks`` ranks over ``g``."""
-    return ExecutionContext(make_partition(g.n, nranks, strategy), track=track)
+def make_context(*args: object, **kwargs: object) -> NoReturn:
+    """Removed. Use :meth:`repro.engine.CountingEngine.make_context`."""
+    _removed("make_context", "CountingEngine.make_context")
 
 
-def count_colorful(
-    g: Graph,
-    query: QueryGraph,
-    colors: Sequence[int],
-    method: str = "db",
-    plan: Optional[Plan] = None,
-    ctx: Optional[ExecutionContext] = None,
-    num_colors: Optional[int] = None,
-) -> int:
-    """Colorful matches under a fixed coloring with the chosen method.
-
-    .. deprecated:: use :meth:`repro.engine.CountingEngine.count_colorful`.
-    """
-    from ..engine import CountingEngine
-
-    _deprecated("count_colorful", "CountingEngine.count_colorful")
-    return CountingEngine(g).count_colorful(
-        query, colors, method=method, plan=plan, ctx=ctx, num_colors=num_colors
-    )
+def count_colorful(*args: object, **kwargs: object) -> NoReturn:
+    """Removed. Use :meth:`repro.engine.CountingEngine.count_colorful`."""
+    _removed("count_colorful", "CountingEngine.count_colorful")
 
 
-def count(
-    g: Graph,
-    query: QueryGraph,
-    trials: int = 10,
-    seed: int = 0,
-    method: str = "db",
-    plan: Optional[Plan] = None,
-    ctx: Optional[ExecutionContext] = None,
-    num_colors: Optional[int] = None,
-    workers: int = 1,
-) -> EstimateResult:
-    """Approximate match counting by repeated color-coding trials.
-
-    .. deprecated:: use :meth:`repro.engine.CountingEngine.count`.
-    """
-    from ..engine import CountingEngine
-
-    _deprecated("count", "CountingEngine.count")
-    return CountingEngine(g).count(
-        query,
-        trials=trials,
-        seed=seed,
-        method=method,
-        plan=plan,
-        ctx=ctx,
-        num_colors=num_colors,
-        workers=workers,
-    )
+def count(*args: object, **kwargs: object) -> NoReturn:
+    """Removed. Use :meth:`repro.engine.CountingEngine.count`."""
+    _removed("count", "CountingEngine.count")
 
 
-def count_exact(g: Graph, query: QueryGraph) -> int:
-    """Exact match count by brute force (small inputs only).
-
-    .. deprecated:: use :meth:`repro.engine.CountingEngine.count_exact`.
-    """
-    from ..engine import CountingEngine
-
-    _deprecated("count_exact", "CountingEngine.count_exact")
-    return CountingEngine(g).count_exact(query)
+def count_exact(*args: object, **kwargs: object) -> NoReturn:
+    """Removed. Use :meth:`repro.engine.CountingEngine.count_exact`."""
+    _removed("count_exact", "CountingEngine.count_exact")

@@ -16,7 +16,7 @@ explores and the paper leaves implicit):
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterator, List
 
 import numpy as np
 
@@ -24,6 +24,7 @@ __all__ = [
     "uniform_coloring",
     "balanced_coloring",
     "coloring_batch",
+    "coloring_stream",
     "color_class_sizes",
 ]
 
@@ -59,6 +60,32 @@ def coloring_batch(
     if strategy == "balanced":
         return [balanced_coloring(n, k, rng) for _ in range(trials)]
     raise ValueError(f"unknown coloring strategy {strategy!r}")
+
+
+def coloring_stream(
+    n: int,
+    k: int,
+    seed: int,
+    strategy: str = "uniform",
+) -> Iterator[np.ndarray]:
+    """Endless deterministic coloring sequence, prefix-identical to batches.
+
+    Draws from the *same* generator stream as :func:`coloring_batch`, so
+    the first ``t`` colorings yielded here are bit-identical to
+    ``coloring_batch(n, k, t, seed, strategy)`` for every ``t``.  This is
+    what lets the engine's adaptive scheduler stop early (or keep going)
+    without perturbing the colorings a fixed-trial run would have seen —
+    the differential/parity invariants ride on this prefix property.
+    """
+    if strategy == "uniform":
+        draw = uniform_coloring
+    elif strategy == "balanced":
+        draw = balanced_coloring
+    else:
+        raise ValueError(f"unknown coloring strategy {strategy!r}")
+    rng = np.random.default_rng(seed)
+    while True:
+        yield draw(n, k, rng)
 
 
 def color_class_sizes(colors: np.ndarray, k: int) -> np.ndarray:

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 import numpy as np
 
@@ -22,9 +22,16 @@ from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.automorphisms import automorphism_count
 from ..query.query import QueryGraph
+from ..theory.bounds import chebyshev_halfwidth, student_t_quantile
 from .solver import solve_plan
 
-__all__ = ["EstimateResult", "estimate_matches", "normalization_factor", "random_coloring"]
+__all__ = [
+    "EstimateResult",
+    "StreamingEstimate",
+    "estimate_matches",
+    "normalization_factor",
+    "random_coloring",
+]
 
 
 def normalization_factor(k: int, num_colors: Optional[int] = None) -> float:
@@ -90,6 +97,93 @@ class EstimateResult:
         """Conventional CoV: std over mean (scale free)."""
         mean = self.colorful_mean
         return math.sqrt(self.colorful_variance) / mean if mean > 0 else 0.0
+
+
+class StreamingEstimate:
+    """Single-pass mean/variance over per-trial colorful counts.
+
+    The adaptive scheduler's accumulator: trials are pushed one at a
+    time (Welford's update, numerically stable at any trial count) and
+    the current empirical confidence interval is available after every
+    push without revisiting earlier counts.  Matches the batch statistics
+    of :class:`EstimateResult` — same ``ddof=1`` variance, same
+    ``scale·mean`` estimate — which the fuzz tests pin down.
+
+    The confidence interval is the Student-t interval on the trial mean.
+    When the empirical variance is *degenerate* — fewer than two trials,
+    an all-equal prefix, or a zero mean (relative error undefined) — the
+    t-interval says nothing useful, so :meth:`relative_halfwidth` falls
+    back to the distribution-free Chebyshev width under the worst-case
+    per-trial relative variance from
+    :func:`repro.theory.bounds.estimator_relative_variance_bound`.
+    """
+
+    def __init__(self, scale: float, rel_variance_bound: Optional[float] = None) -> None:
+        self.scale = float(scale)
+        #: worst-case per-trial relative variance used for the degenerate
+        #: fallback; ``None`` disables the fallback (half-width becomes
+        #: infinite whenever the empirical interval is undefined)
+        self.rel_variance_bound = rel_variance_bound
+        self.trials = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+
+    def push(self, count: int) -> None:
+        """Fold one trial's colorful count into the running statistics."""
+        self.trials += 1
+        delta = float(count) - self._mean
+        self._mean += delta / self.trials
+        self._m2 += delta * (float(count) - self._mean)
+
+    @property
+    def colorful_mean(self) -> float:
+        return self._mean if self.trials else 0.0
+
+    @property
+    def colorful_variance(self) -> float:
+        """Sample variance of the colorful counts (``ddof=1``)."""
+        if self.trials < 2:
+            return 0.0
+        return self._m2 / (self.trials - 1)
+
+    @property
+    def estimate(self) -> float:
+        """Current unbiased match estimate (``scale · mean``)."""
+        return self.scale * self._mean
+
+    def relative_halfwidth(self, confidence: float = 0.95) -> float:
+        """Relative half-width of the CI on the estimate at ``confidence``.
+
+        Student-t when the empirical variance is usable; Chebyshev under
+        ``rel_variance_bound`` when it is degenerate; ``inf`` when even
+        the fallback is unavailable.
+        """
+        if not 0.0 < confidence < 1.0:
+            raise ValueError("confidence must lie in (0, 1)")
+        degenerate = self.trials < 2 or self._mean <= 0.0 or self._m2 <= 0.0
+        if degenerate:
+            if self.rel_variance_bound is None or self.trials < 1:
+                return math.inf
+            return chebyshev_halfwidth(
+                self.rel_variance_bound, self.trials, confidence
+            )
+        q = student_t_quantile(0.5 + confidence / 2.0, self.trials - 1)
+        sem = math.sqrt(self.colorful_variance / self.trials)
+        return q * sem / self._mean
+
+    def interval(self, confidence: float = 0.95) -> Tuple[float, float]:
+        """The CI on the *estimate* scale (clamped below at zero)."""
+        hw = self.relative_halfwidth(confidence)
+        if math.isinf(hw):
+            return (0.0, math.inf)
+        est = self.estimate
+        return (max(0.0, est * (1.0 - hw)), est * (1.0 + hw))
+
+    def precision_met(self, rel_error: float, confidence: float = 0.95) -> bool:
+        """Whether the current CI is at least as tight as ``rel_error``."""
+        if rel_error <= 0.0:
+            raise ValueError("rel_error must be positive")
+        return self.relative_halfwidth(confidence) <= rel_error
 
 
 def estimate_matches(

@@ -1,64 +1,29 @@
-"""Process-parallel color-coding trials — deprecated shim.
+"""Process-parallel color-coding trials — **removed**, hard stub.
 
-The outermost loop of the estimator — independent random colorings — is
-embarrassingly parallel; the paper distributes *within* a trial (MPI
-ranks), while on a single machine Python's GIL makes thread-level
-parallelism useless for our dict-heavy kernels.  Worker-process fan-out
-now lives in :class:`repro.engine.CountingEngine` (``workers=N``), which
-draws colorings up front from the same deterministic batch the
-sequential estimator uses, so results are bit-identical to the
-sequential path for the same seed.
+Worker-process fan-out lives in :class:`repro.engine.CountingEngine`
+(``workers=N``), which draws colorings from the same deterministic
+stream the sequential estimator uses, so results are bit-identical to
+the sequential path for the same seed.
 
 .. deprecated::
-    Use ``CountingEngine(g).count(q, workers=N)`` instead.  This wrapper
-    remains for backward compatibility and returns the engine's
-    :class:`RunResult` (an :class:`EstimateResult` subclass).
+    ``estimate_matches_parallel`` spent one deprecation cycle as a
+    delegating shim and is now a *hard stub*: importable, but raising
+    :class:`DeprecationWarning` when called.  Use
+    ``CountingEngine(g).count(q, workers=N)`` — the full migration
+    table lives in ``docs/API.md``.
 """
 
 from __future__ import annotations
 
-from typing import Optional
-
-from ._deprecation import warn_once_per_site
-from ..decomposition.tree import Plan
-from ..graph.graph import Graph
-from ..query.query import QueryGraph
-from .estimator import EstimateResult
+from typing import NoReturn
 
 __all__ = ["estimate_matches_parallel"]
 
 
-def estimate_matches_parallel(
-    g: Graph,
-    query: QueryGraph,
-    trials: int = 10,
-    seed: int = 0,
-    method: str = "db",
-    plan: Optional[Plan] = None,
-    workers: int = 2,
-    coloring_strategy: str = "uniform",
-) -> EstimateResult:
-    """Like :func:`repro.counting.estimator.estimate_matches`, with trials
-    fanned out over ``workers`` processes.
-
-    Falls back to in-process execution when ``workers <= 1`` or the trial
-    count is tiny (process startup would dominate).
-
-    .. deprecated:: use ``CountingEngine(g).count(q, workers=N)``.
-    """
-    from ..engine import CountingEngine
-
-    warn_once_per_site(
-        "repro.counting.estimate_matches_parallel is deprecated; use "
-        "repro.engine.CountingEngine.count(..., workers=N)",
-        stacklevel=2,
-    )
-    return CountingEngine(g).count(
-        query,
-        trials=trials,
-        seed=seed,
-        method=method,
-        plan=plan,
-        workers=workers,
-        coloring_strategy=coloring_strategy,
+def estimate_matches_parallel(*args: object, **kwargs: object) -> NoReturn:
+    """Removed. Use ``CountingEngine(g).count(q, workers=N)``."""
+    raise DeprecationWarning(
+        "repro.counting.estimate_matches_parallel has been removed; use "
+        "repro.engine.CountingEngine.count(..., workers=N) "
+        "(see docs/API.md for the migration table)"
     )

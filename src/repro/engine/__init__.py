@@ -38,7 +38,7 @@ from .backends import (
     get_backend,
     register_backend,
 )
-from .config import CountRequest, EngineConfig
+from .config import CountRequest, EngineConfig, PrecisionSpec
 from .engine import CountingEngine, EngineStats
 from .fingerprint import canonical_query, canonical_request, request_fingerprint
 from .result import RunResult, plan_summary
@@ -48,6 +48,7 @@ __all__ = [
     "EngineStats",
     "EngineConfig",
     "CountRequest",
+    "PrecisionSpec",
     "RunResult",
     "plan_summary",
     "canonical_query",

@@ -26,6 +26,7 @@ with :meth:`CountingEngine.close` or an engine ``with`` block).
 from __future__ import annotations
 
 import atexit
+import math
 import multiprocessing as mp
 import threading
 import time
@@ -37,20 +38,55 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from ..distributed.executor import ShardedExecutor
 
-from ..counting.colorings import coloring_batch
+from ..counting.colorings import coloring_batch, coloring_stream
 from ..counting.bruteforce import count_matches
-from ..counting.estimator import normalization_factor
+from ..counting.estimator import StreamingEstimate, normalization_factor
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
 from ..distributed.partition import Partition, make_partition
 from ..distributed.runtime import ExecutionContext
 from ..graph.graph import Graph
 from ..query.query import QueryGraph
+from ..theory.bounds import estimator_relative_variance_bound
 from .backends import BackendRegistry, DEFAULT_REGISTRY, SolverBackend
-from .config import CountRequest, EngineConfig
+from .config import CountRequest, EngineConfig, PrecisionSpec
 from .result import RunResult
 
-__all__ = ["CountingEngine", "EngineStats"]
+__all__ = ["CountingEngine", "EngineStats", "ProgressCallback"]
+
+if TYPE_CHECKING:
+    from typing import Callable
+
+    #: signature of the optional per-batch progress hook: receives the
+    #: JSON-safe snapshot built by :func:`_progress_snapshot`
+    ProgressCallback = Callable[[Dict[str, object]], None]
+else:  # pragma: no cover - runtime alias only
+    ProgressCallback = object
+
+
+def _progress_snapshot(
+    acc: StreamingEstimate, spec: PrecisionSpec
+) -> Dict[str, object]:
+    """JSON-safe refining-CI snapshot handed to progress callbacks.
+
+    This is what the service's job endpoints surface while a run is in
+    flight: the trials spent so far against the policy's bounds, the
+    current estimate, and the confidence interval as it tightens.
+    """
+    hw = acc.relative_halfwidth(spec.confidence)
+    low, high = acc.interval(spec.confidence)
+    finite = math.isfinite(hw)
+    return {
+        "trials_done": acc.trials,
+        "min_trials": spec.min_trials,
+        "max_trials": spec.max_trials,
+        "target_rel_error": spec.rel_error,
+        "confidence": spec.confidence,
+        "estimate": acc.estimate,
+        "rel_halfwidth": hw if finite else None,
+        "ci_low": low if finite else None,
+        "ci_high": high if finite else None,
+    }
 
 
 @dataclass
@@ -357,13 +393,27 @@ class CountingEngine:
             return {}
         return {"namespace": namespace}
 
-    def count(self, request: Union[CountRequest, QueryGraph], **overrides: object) -> RunResult:
+    def count(
+        self,
+        request: Union[CountRequest, QueryGraph],
+        on_progress: Optional["ProgressCallback"] = None,
+        **overrides: object,
+    ) -> RunResult:
         """Estimate the match count of one query.
 
         ``request`` is a :class:`CountRequest` or a raw query; keyword
         overrides win over both the request and the engine config.
         Returns a :class:`RunResult` carrying the estimate plus
         provenance (backend, plan, timings, optional load stats).
+
+        The trial policy comes from the request's ``precision``
+        (:class:`~repro.engine.config.PrecisionSpec`) or, when unset,
+        the bare ``trials`` knob — a fixed policy that runs exactly that
+        many colorings, bit-identical to the pre-precision engine.  With
+        ``rel_error`` set the scheduler stops as soon as the empirical
+        confidence interval meets the target (never under ``min_trials``
+        nor over ``max_trials``); ``on_progress``, if given, receives a
+        JSON-safe refining-CI snapshot after every trial batch.
 
         ``workers > 1`` and simulated-rank accounting are mutually
         exclusive: with ``nranks > 1`` (or an explicit ``ctx``) trials
@@ -375,7 +425,7 @@ class CountingEngine:
             request = CountRequest(query=request)
         if overrides:
             request = request.replace(**overrides)
-        return self._execute(request.resolved(self.config))
+        return self._execute(request.resolved(self.config), on_progress=on_progress)
 
     def count_many(
         self,
@@ -391,16 +441,24 @@ class CountingEngine:
         return [self.count(req, **overrides) for req in requests]
 
     # ------------------------------------------------------------------
-    def _execute(self, r: CountRequest) -> RunResult:
+    def _execute(
+        self,
+        r: CountRequest,
+        on_progress: Optional["ProgressCallback"] = None,
+    ) -> RunResult:
         # request-level labels specialise the query before planning, so
         # the plan cache keys labeled and unlabeled variants separately
         q = r.effective_query()
-        if r.trials < 1:
-            raise ValueError("need at least one trial")
+        # the trial policy: an explicit PrecisionSpec, or bare trials
+        # desugared to the equivalent fixed spec (validates trials >= 1)
+        spec = r.effective_precision()
+        adaptive = spec.is_adaptive
+        cap = spec.max_trials
         k = q.k
         kc = r.num_colors if r.num_colors is not None else k
         if kc < k:
             raise ValueError(f"need at least k={k} colors, got num_colors={kc}")
+        scale = normalization_factor(k, kc)
 
         # external ctx (legacy make_context flow) wins over config nranks
         ctx = r.ctx
@@ -427,11 +485,7 @@ class CountingEngine:
         if plan is None and backend.needs_plan:
             plan, plan_cached = self._plan_for(q)
 
-        colorings = coloring_batch(
-            self.graph.n, kc, r.trials, r.seed, strategy=r.coloring_strategy
-        )
-
-        workers = r.workers if distributed else min(r.workers, r.trials)
+        workers = r.workers if distributed else min(r.workers, cap)
         if workers > 1 and ctx is not None:
             # per-rank accounting mutates one shared context; trials must
             # run in-process to keep the LoadStats coherent
@@ -448,45 +502,122 @@ class CountingEngine:
             fork = None
         parallel = (
             not distributed
-            and workers > 1 and r.trials >= 2 and ctx is None and fork is not None
+            and workers > 1 and cap >= 2 and ctx is None and fork is not None
         )
         ns_extra = self._namespace_extra(backend, r.namespace)
         extra = {**self._distributed_extra(backend, workers), **ns_extra}
+        # the streaming accumulator doubles as the CI provenance for
+        # fixed runs and as the stopping rule for adaptive ones; the
+        # Chebyshev fallback bound kicks in on degenerate variance
+        acc = StreamingEstimate(
+            scale, rel_variance_bound=estimator_relative_variance_bound(k, kc)
+        )
+        stopped_early = False
         t0 = time.perf_counter()
         trial_times: Optional[List[float]]
-        if parallel:
-            with fork.Pool(
-                processes=workers,
-                initializer=_init_worker,
-                initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
-            ) as pool:
-                counts = pool.map(_run_trial, colorings)
-            trial_times = None
-        else:
-            if not distributed:
-                workers = 1
-            counts = []
-            trial_times = []
-            for colors in colorings:
-                t1 = time.perf_counter()
-                counts.append(
-                    backend.count_colorful(
-                        self.graph, q, colors, plan=plan, ctx=ctx,
-                        num_colors=r.num_colors, **extra,
+        counts: List[int]
+        if not adaptive:
+            # fixed policy: the historical path, bit for bit — one batch
+            # of exactly cap colorings, all of them executed
+            colorings = coloring_batch(
+                self.graph.n, kc, cap, r.seed, strategy=r.coloring_strategy
+            )
+            if parallel:
+                with fork.Pool(
+                    processes=workers,
+                    initializer=_init_worker,
+                    initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
+                ) as pool:
+                    counts = pool.map(_run_trial, colorings)
+                trial_times = None
+                for c in counts:
+                    acc.push(int(c))
+            else:
+                if not distributed:
+                    workers = 1
+                counts = []
+                trial_times = []
+                for colors in colorings:
+                    t1 = time.perf_counter()
+                    counts.append(
+                        backend.count_colorful(
+                            self.graph, q, colors, plan=plan, ctx=ctx,
+                            num_colors=r.num_colors, **extra,
+                        )
                     )
-                )
-                trial_times.append(time.perf_counter() - t1)
+                    trial_times.append(time.perf_counter() - t1)
+                    acc.push(int(counts[-1]))
+                    if on_progress is not None:
+                        on_progress(_progress_snapshot(acc, spec))
+        else:
+            # adaptive policy: draw colorings lazily from the *same*
+            # generator stream the fixed path batches from, so the first
+            # t trials of any adaptive run are bit-identical to a fixed
+            # t-trial run under the same seed (the parity invariant)
+            stream = coloring_stream(
+                self.graph.n, kc, r.seed, strategy=r.coloring_strategy
+            )
+            if not parallel and not distributed:
+                workers = 1
+            # batch granularity: enough to keep a process pool busy, one
+            # trial at a time otherwise (finest-grained stopping)
+            step = workers if parallel else 1
+            counts = []
+            trial_times = None
+            pool = None
+            try:
+                if parallel:
+                    pool = fork.Pool(
+                        processes=workers,
+                        initializer=_init_worker,
+                        initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
+                    )
+                while len(counts) < cap:
+                    if len(counts) < spec.min_trials:
+                        want = spec.min_trials - len(counts)
+                    else:
+                        want = step
+                    want = max(1, min(want, cap - len(counts)))
+                    batch = [next(stream) for _ in range(want)]
+                    if pool is not None:
+                        new = pool.map(_run_trial, batch)
+                    else:
+                        new = backend.count_colorful_batch(
+                            self.graph, q, batch, plan=plan, ctx=ctx,
+                            num_colors=r.num_colors, **extra,
+                        )
+                    for c in new:
+                        acc.push(int(c))
+                        counts.append(int(c))
+                    if on_progress is not None:
+                        on_progress(_progress_snapshot(acc, spec))
+                    if len(counts) >= spec.min_trials and acc.precision_met(
+                        spec.rel_error, spec.confidence
+                    ):
+                        stopped_early = len(counts) < cap
+                        break
+            finally:
+                if pool is not None:
+                    pool.close()
+                    pool.join()
         wall = time.perf_counter() - t0
 
+        hw = acc.relative_halfwidth(spec.confidence)
+        ci_low: Optional[float] = None
+        ci_high: Optional[float] = None
+        if math.isfinite(hw):
+            ci_low, ci_high = acc.interval(spec.confidence)
+
+        trials_used = len(counts)
         with self._cache_lock:
             self.stats.requests += 1
-            self.stats.trials += r.trials
+            self.stats.trials += trials_used
         return RunResult(
             query_name=q.name,
             graph_name=self.graph.name,
-            trials=r.trials,
+            trials=trials_used,
             colorful_counts=[int(c) for c in counts],
-            scale=normalization_factor(k, kc),
+            scale=scale,
             method=backend.name,
             seed=r.seed,
             num_colors=kc,
@@ -498,6 +629,10 @@ class CountingEngine:
             wall_clock=wall,
             load=ctx.stats if ctx is not None and ctx.track else None,
             kappa=self.config.kappa,
+            trials_used=trials_used,
+            stopped_early=stopped_early,
+            ci_low=ci_low,
+            ci_high=ci_high,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -79,6 +79,16 @@ def canonical_request(
     fields that shape the result payload beyond the request itself
     (partition strategy for distributed shards, the ``kappa`` cost model
     constant) come from the config.
+
+    The trial policy canonicalises through
+    :meth:`~repro.engine.config.CountRequest.effective_precision`:
+    a non-adaptive policy collapses onto the legacy ``trials`` key (so a
+    bare ``trials=N`` request and the equivalent
+    ``PrecisionSpec(min_trials=N, max_trials=N)`` share a fingerprint,
+    and every pre-precision cache key is unchanged), while an adaptive
+    policy adds a ``precision`` sub-document — adaptive and fixed
+    requests can therefore never collide in the cache even when their
+    realised trial counts coincide.
     """
     cfg = config if config is not None else EngineConfig()
     resolved = request.resolved(cfg)
@@ -92,6 +102,14 @@ def canonical_request(
     }
     for field in _FINGERPRINT_FIELDS:
         doc[field] = getattr(resolved, field)
+    spec = resolved.effective_precision()
+    if spec.is_adaptive:
+        # trials is pinned to the cap so the irrelevant bare knob can
+        # never split (or alias) adaptive cache entries
+        doc["trials"] = spec.max_trials
+        doc["precision"] = spec.to_dict()
+    else:
+        doc["trials"] = spec.max_trials
     return doc
 
 

@@ -18,7 +18,12 @@ from ..counting.estimator import EstimateResult
 from ..decomposition.tree import Plan
 from ..distributed.runtime import LoadStats
 
-__all__ = ["RunResult", "plan_summary"]
+__all__ = ["RunResult", "plan_summary", "WIRE_VERSION"]
+
+#: serialization format version emitted by :meth:`RunResult.to_dict`.
+#: v1 (implicit, pre-adaptive) lacked ``wire_version`` and the CI /
+#: adaptive-provenance fields; :meth:`RunResult.from_dict` accepts both.
+WIRE_VERSION = 2
 
 
 def plan_summary(plan: Plan) -> Dict[str, object]:
@@ -60,6 +65,20 @@ class RunResult(EstimateResult):
     #: plan digest carried by deserialized results (``plan`` itself does
     #: not survive the wire; see :meth:`to_dict` / :meth:`from_dict`)
     plan_digest: Optional[Dict[str, object]] = None
+    #: trials actually executed (equals ``trials``; kept explicit so wire
+    #: consumers can tell an adaptive run's spend from its cap)
+    trials_used: int = 0
+    #: whether the adaptive stopping rule fired before ``max_trials``
+    stopped_early: bool = False
+    #: empirical CI on ``estimate`` at the run's confidence level;
+    #: ``None`` when no finite interval could be computed (degenerate
+    #: variance with no usable fallback)
+    ci_low: Optional[float] = None
+    ci_high: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.trials_used:
+            self.trials_used = self.trials
 
     @property
     def time_per_trial(self) -> float:
@@ -97,6 +116,7 @@ class RunResult(EstimateResult):
         if digest is None and self.plan is not None:
             digest = plan_summary(self.plan)
         return {
+            "wire_version": WIRE_VERSION,
             "query_name": self.query_name,
             "graph_name": self.graph_name,
             "trials": self.trials,
@@ -116,6 +136,10 @@ class RunResult(EstimateResult):
             "wall_clock": float(self.wall_clock),
             "load": self.load.to_dict() if self.load is not None else None,
             "kappa": float(self.kappa),
+            "trials_used": int(self.trials_used),
+            "stopped_early": bool(self.stopped_early),
+            "ci_low": float(self.ci_low) if self.ci_low is not None else None,
+            "ci_high": float(self.ci_high) if self.ci_high is not None else None,
             # derived, for dashboards/JSON consumers (ignored by from_dict)
             "estimate": float(self.estimate),
             "relative_std": float(self.relative_std),
@@ -128,8 +152,18 @@ class RunResult(EstimateResult):
 
         The plan digest round-trips via ``plan_digest`` (the full
         :class:`Plan` object does not cross the wire); an attached
-        :class:`LoadStats` is reconstructed exactly.
+        :class:`LoadStats` is reconstructed exactly.  Accepts both wire
+        v2 documents and v1 documents (no ``wire_version`` key, no
+        CI/adaptive fields — rolling-upgrade safety): the missing fields
+        default to the fixed-run reading (``trials_used = trials``, no
+        early stop, no recorded interval).
         """
+        version = int(doc.get("wire_version", 1))  # type: ignore[arg-type]
+        if version > WIRE_VERSION:
+            raise ValueError(
+                f"unsupported RunResult wire_version {version} "
+                f"(this build reads <= {WIRE_VERSION})"
+            )
         load_doc = doc.get("load")
         return cls(
             query_name=str(doc["query_name"]),
@@ -155,18 +189,31 @@ class RunResult(EstimateResult):
             load=LoadStats.from_dict(load_doc) if load_doc is not None else None,
             kappa=float(doc.get("kappa", 0.5)),
             plan_digest=dict(doc["plan"]) if doc.get("plan") is not None else None,
+            trials_used=int(doc.get("trials_used", doc["trials"])),
+            stopped_early=bool(doc.get("stopped_early", False)),
+            ci_low=(
+                float(doc["ci_low"]) if doc.get("ci_low") is not None else None
+            ),
+            ci_high=(
+                float(doc["ci_high"]) if doc.get("ci_high") is not None else None
+            ),
         )
 
     def summary(self) -> str:
         """One-line human-readable digest (used by the CLI)."""
+        trials_bit = f"trials={self.trials}"
+        if self.stopped_early:
+            trials_bit += " (early stop)"
         bits = [
             f"{self.query_name} on {self.graph_name}",
             f"method={self.method}",
-            f"trials={self.trials}",
+            trials_bit,
             f"estimate={self.estimate:.6g}",
             f"rel_std={self.relative_std:.4f}",
             f"wall={self.wall_clock:.3f}s",
         ]
+        if self.ci_low is not None and self.ci_high is not None:
+            bits.insert(4, f"ci=[{self.ci_low:.6g}, {self.ci_high:.6g}]")
         if self.workers > 1:
             bits.insert(3, f"workers={self.workers}")
         if self.load is not None:

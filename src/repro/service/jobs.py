@@ -58,6 +58,10 @@ class Job:
         self.started_at: Optional[float] = None
         self.finished_at: Optional[float] = None
         self.event = threading.Event()
+        #: latest refining-CI snapshot from the engine's progress hook
+        #: (single whole-dict assignment: readers see either the previous
+        #: complete snapshot or the new one, never a torn mix)
+        self.progress_detail: Optional[Dict[str, object]] = None
 
     # ------------------------------------------------------------------
     @property
@@ -66,10 +70,29 @@ class Job:
 
     @property
     def progress(self) -> float:
-        """Coarse lifecycle progress: 0.0 queued, 0.5 running, 1.0 done."""
+        """Lifecycle progress in [0, 1].
+
+        0.0 queued, 1.0 finished; while running, the engine's trial
+        progress (``trials_done / max_trials``) when a snapshot has
+        arrived, else the coarse 0.5 midpoint.  Adaptive runs that stop
+        early jump from their last ratio straight to 1.0 — progress is
+        monotone either way.
+        """
         if self.done:
             return 1.0
-        return 0.5 if self.state == RUNNING else 0.0
+        if self.state == RUNNING:
+            detail = self.progress_detail
+            if detail:
+                done_trials = int(detail.get("trials_done", 0))  # type: ignore[arg-type]
+                cap = int(detail.get("max_trials", 0))  # type: ignore[arg-type]
+                if cap > 0:
+                    return min(0.95, max(0.05, done_trials / cap))
+            return 0.5
+        return 0.0
+
+    def update_progress(self, snapshot: Dict[str, object]) -> None:
+        """Engine progress hook: publish the latest refining-CI snapshot."""
+        self.progress_detail = snapshot
 
     def wait(self, timeout: Optional[float] = None) -> bool:
         """Block until the job finishes; True when it did within timeout."""
@@ -87,6 +110,9 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
         }
+        detail = self.progress_detail
+        if detail is not None:
+            doc["progress_detail"] = detail
         if self.error is not None:
             doc["error"] = self.error
         if include_result and self.state == DONE and self.result is not None:

@@ -25,7 +25,7 @@ import time
 from typing import Dict, List, Optional, Tuple, Union
 
 from ..counting.xp import BackendUnavailable, resolve_namespace
-from ..engine import CountingEngine, CountRequest, EngineConfig, RunResult
+from ..engine import CountingEngine, CountRequest, EngineConfig, PrecisionSpec, RunResult
 from ..engine.backends import DEFAULT_REGISTRY
 from ..engine.fingerprint import request_fingerprint
 from ..query.library import MAX_NODE_LABEL, coerce_node_labels, resolve_query_name
@@ -48,7 +48,7 @@ __all__ = [
 #: fixed by the service's EngineConfig)
 REQUEST_FIELDS = (
     "method", "trials", "seed", "num_colors", "workers", "coloring_strategy",
-    "namespace", "labels",
+    "namespace", "labels", "precision",
 )
 
 #: upper bounds on the untrusted per-request knobs — one HTTP client
@@ -167,9 +167,15 @@ class CountingService:
 
         Coerces JSON value types (``"2"``/``2.0`` → ``2``, so equivalent
         spellings share a fingerprint) and rejects unknown fields,
-        unknown methods, ``trials < 1``, ``num_colors < k`` and malformed
-        label specs eagerly, so a queued job can only fail for genuinely
-        exceptional reasons.
+        unknown methods, ``trials < 1``, ``num_colors < k``, malformed
+        ``precision`` documents and malformed label specs eagerly, so a
+        queued job can only fail for genuinely exceptional reasons.
+
+        ``precision`` accepts everything
+        :meth:`~repro.engine.config.PrecisionSpec.coerce` does on the
+        wire: a bare trial count (sugar for a fixed run) or a mapping
+        with any of ``rel_error`` / ``confidence`` / ``min_trials`` /
+        ``max_trials``.
         """
         unknown = sorted(set(params) - set(REQUEST_FIELDS))
         if unknown:
@@ -180,8 +186,14 @@ class CountingService:
         labels = params.get("labels")
         if labels is not None:
             kwargs["labels"] = self.coerce_label_spec(query, labels)
+        precision = params.get("precision")
+        if precision is not None:
+            try:
+                kwargs["precision"] = PrecisionSpec.coerce(precision)
+            except (TypeError, ValueError) as exc:
+                raise BadRequestError(f"bad value for 'precision': {exc}") from None
         for field in REQUEST_FIELDS:
-            if field == "labels":
+            if field in ("labels", "precision"):
                 continue
             value = params.get(field)
             if value is None:
@@ -216,6 +228,10 @@ class CountingService:
                 raise BadRequestError(str(exc)) from None
         if not 1 <= int(request.trials) <= MAX_TRIALS:
             raise BadRequestError(f"trials must be in [1, {MAX_TRIALS}]")
+        if request.effective_precision().max_trials > MAX_TRIALS:
+            raise BadRequestError(
+                f"precision.max_trials must be in [1, {MAX_TRIALS}]"
+            )
         if not 1 <= int(request.workers) <= MAX_WORKERS:
             raise BadRequestError(f"workers must be in [1, {MAX_WORKERS}]")
         if request.num_colors is not None and not (
@@ -230,9 +246,18 @@ class CountingService:
     # execution
     # ------------------------------------------------------------------
     def _execute(self, entry: DatasetEntry, request: CountRequest, fp: str) -> RunResult:
-        """Run one admitted request on the dataset's engine, fill the cache."""
+        """Run one admitted request on the dataset's engine, fill the cache.
+
+        The in-flight job for this fingerprint (still registered — it is
+        only popped in the ``finally`` below) receives the engine's
+        refining-CI snapshots, so ``GET /jobs/<id>`` shows live trial
+        progress while an adaptive run converges.
+        """
+        with self._lock:
+            job = self._inflight.get(fp)
+        on_progress = job.update_progress if job is not None else None
         try:
-            result = entry.engine.count(request)
+            result = entry.engine.count(request, on_progress=on_progress)
             self.cache.put(fp, result)
             with self._lock:
                 self._computed += 1

@@ -1,4 +1,4 @@
-"""Closed-form bounds of Theorem 9.1 and Lemma 9.8.
+"""Closed-form bounds of Theorem 9.1 and Lemma 9.8, plus estimator precision.
 
 These are the quantities the theory benchmark compares against the exact
 X(q)/Y(q) counts:
@@ -10,11 +10,20 @@ X(q)/Y(q) counts:
 * the power-law growth rates of Lemma 9.8:
   ``E[Y(q)] = Ω(n^{α-1+(2-α)q/2})`` and, for ``α < 2 - 1/(q-1)``,
   ``E[X(q)] = O(n^{1/2+(2-α)(q-1)/2})`` (else ``O(n log n)``).
+
+The second half of the module is the *estimator* precision theory the
+adaptive trial scheduler leans on: the worst-case per-trial relative
+variance of one color-coding trial
+(:func:`estimator_relative_variance_bound`), the Chebyshev trial count /
+half-width it implies (:func:`required_trials`,
+:func:`chebyshev_halfwidth`), and a dependency-free Student-t quantile
+(:func:`student_t_quantile`) for the empirical confidence interval.
 """
 
 from __future__ import annotations
 
-from typing import Dict
+import math
+from typing import Dict, Optional
 
 import numpy as np
 
@@ -25,6 +34,11 @@ __all__ = [
     "x_upper_bound",
     "power_law_exponents",
     "predicted_gap_exponent",
+    "estimator_relative_variance_bound",
+    "required_trials",
+    "chebyshev_halfwidth",
+    "normal_quantile",
+    "student_t_quantile",
 ]
 
 
@@ -78,3 +92,178 @@ def predicted_gap_exponent(alpha: float, q: int) -> float:
     """
     exps = power_law_exponents(alpha, q)
     return exps["y"] - exps["x"]
+
+
+# ----------------------------------------------------------------------
+# estimator precision: worst-case variance, Chebyshev trials, t quantile
+# ----------------------------------------------------------------------
+
+def estimator_relative_variance_bound(k: int, num_colors: Optional[int] = None) -> float:
+    """Worst-case per-trial relative variance of one color-coding trial.
+
+    One trial's estimate is ``s · X`` with ``X`` the colorful-match count
+    and ``s = c^k / (c)_k`` the normalization (``k^k/k!`` under the
+    paper's ``c == k`` palette; the expression mirrors
+    :func:`repro.counting.estimator.normalization_factor`, re-derived
+    here because ``theory`` sits below ``counting`` in the layering).
+    Each fixed match survives a coloring with probability ``p = 1/s``, so
+    in the hardest case of a single match the trial is a scaled Bernoulli
+    with ``Var/mean² = (1 - p)/p <= s - 1``.  Correlated multi-match
+    instances concentrate *better* per unit of mean in practice; the
+    scheduler only uses this bound when the empirical variance is
+    degenerate (too few trials, or an all-equal prefix), where a
+    conservative number is exactly what is wanted.
+    """
+    c = num_colors if num_colors is not None else k
+    if c < k:
+        raise ValueError(f"need at least k={k} colors, got {c}")
+    if k == 0:
+        return 0.0
+    falling = 1.0
+    for i in range(k):
+        falling *= c - i
+    scale = float(c**k) / falling
+    return scale - 1.0
+
+
+def required_trials(rel_variance: float, rel_error: float, confidence: float) -> int:
+    """Chebyshev bound on the trials needed to hit a relative error.
+
+    For i.i.d. trials with per-trial relative variance ``r``,
+    ``P(|mean - μ| >= ε·μ) <= r / (t·ε²)``; bounding the failure mass by
+    ``1 - confidence`` gives ``t >= r / (ε²·(1 - confidence))``.
+    Distribution-free, hence far more conservative than the empirical
+    t-interval — it is the scheduler's fallback, not its fast path.
+    """
+    if rel_error <= 0.0:
+        raise ValueError("rel_error must be positive")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if rel_variance < 0.0:
+        raise ValueError("rel_variance must be non-negative")
+    delta = 1.0 - confidence
+    return max(1, math.ceil(rel_variance / (rel_error * rel_error * delta)))
+
+
+def chebyshev_halfwidth(rel_variance: float, trials: int, confidence: float) -> float:
+    """Relative CI half-width Chebyshev certifies after ``trials`` trials.
+
+    Inverse of :func:`required_trials`: the smallest ``ε`` with
+    ``r / (t·ε²) <= 1 - confidence``, i.e. ``sqrt(r / (t·(1-conf)))``.
+    """
+    if trials < 1:
+        raise ValueError("need at least one trial")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+    if rel_variance < 0.0:
+        raise ValueError("rel_variance must be non-negative")
+    return math.sqrt(rel_variance / (trials * (1.0 - confidence)))
+
+
+def normal_quantile(p: float) -> float:
+    """Standard normal quantile Φ⁻¹(p) (Acklam's rational approximation).
+
+    Absolute error below 1.15e-9 over the open unit interval — far
+    tighter than the stopping rule needs — with no SciPy dependency.
+    """
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie in (0, 1)")
+    # coefficients of Peter Acklam's inverse-normal approximation
+    a = (-3.969683028665376e+01, 2.209460984245205e+02, -2.759285104469687e+02,
+         1.383577518672690e+02, -3.066479806614716e+01, 2.506628277459239e+00)
+    b = (-5.447609879822406e+01, 1.615858368580409e+02, -1.556989798598866e+02,
+         6.680131188771972e+01, -1.328068155288572e+01)
+    c = (-7.784894002430293e-03, -3.223964580411365e-01, -2.400758277161838e+00,
+         -2.549732539343734e+00, 4.374664141464968e+00, 2.938163982698783e+00)
+    d = (7.784695709041462e-03, 3.224671290700398e-01, 2.445134137142996e+00,
+         3.754408661907416e+00)
+    p_low = 0.02425
+    if p < p_low:
+        q = math.sqrt(-2.0 * math.log(p))
+        return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    if p > 1.0 - p_low:
+        q = math.sqrt(-2.0 * math.log(1.0 - p))
+        return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) / \
+            ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0)
+    q = p - 0.5
+    r = q * q
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) * q / \
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0)
+
+
+def _regularized_incomplete_beta(a: float, b: float, x: float) -> float:
+    """``I_x(a, b)`` by the standard continued-fraction expansion."""
+    if x <= 0.0:
+        return 0.0
+    if x >= 1.0:
+        return 1.0
+    ln_beta = math.lgamma(a + b) - math.lgamma(a) - math.lgamma(b)
+    front = math.exp(ln_beta + a * math.log(x) + b * math.log(1.0 - x))
+    # use the symmetry I_x(a,b) = 1 - I_{1-x}(b,a) for fast convergence
+    if x > (a + 1.0) / (a + b + 2.0):
+        return 1.0 - _regularized_incomplete_beta(b, a, 1.0 - x)
+    # modified Lentz continued fraction
+    tiny = 1e-300
+    f, c_term, d_term = 1.0, 1.0, 0.0
+    for i in range(200):
+        m = i // 2
+        if i == 0:
+            num = 1.0
+        elif i % 2 == 0:
+            num = m * (b - m) * x / ((a + 2.0 * m - 1.0) * (a + 2.0 * m))
+        else:
+            num = -(a + m) * (a + b + m) * x / ((a + 2.0 * m) * (a + 2.0 * m + 1.0))
+        d_term = 1.0 + num * d_term
+        if abs(d_term) < tiny:
+            d_term = tiny
+        d_term = 1.0 / d_term
+        c_term = 1.0 + num / c_term
+        if abs(c_term) < tiny:
+            c_term = tiny
+        f *= c_term * d_term
+        if abs(1.0 - c_term * d_term) < 1e-12:
+            break
+    return front * (f - 1.0) / a
+
+
+def _student_t_cdf(x: float, df: int) -> float:
+    """CDF of Student's t with ``df`` degrees of freedom."""
+    if x == 0.0:
+        return 0.5
+    tail = 0.5 * _regularized_incomplete_beta(
+        df / 2.0, 0.5, df / (df + x * x)
+    )
+    return 1.0 - tail if x > 0 else tail
+
+
+def student_t_quantile(p: float, df: int) -> float:
+    """Quantile of Student's t with ``df`` degrees of freedom.
+
+    Bisection on the exact CDF (incomplete-beta form) seeded by the
+    normal quantile; accurate to ~1e-9, no SciPy.  ``df`` of 1 is the
+    Cauchy case (the two-trial CI), large ``df`` converges to the normal.
+    """
+    if df < 1:
+        raise ValueError("df must be at least 1")
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must lie in (0, 1)")
+    if p == 0.5:
+        return 0.0
+    z = normal_quantile(p)
+    # t quantiles have heavier tails than the normal: bracket outward
+    lo, hi = (z, z) if z == 0.0 else (min(z, z * 16.0), max(z, z * 16.0))
+    lo, hi = min(lo, -1.0), max(hi, 1.0)
+    while _student_t_cdf(lo, df) > p:
+        lo *= 2.0
+    while _student_t_cdf(hi, df) < p:
+        hi *= 2.0
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if _student_t_cdf(mid, df) < p:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < 1e-12 * max(1.0, abs(hi)):
+            break
+    return 0.5 * (lo + hi)

@@ -1,15 +1,52 @@
-"""Tests for the high-level counting API."""
+"""Tests for the removed free-function API and its engine replacements.
+
+``repro.counting.count`` / ``count_colorful`` / ``count_exact`` /
+``make_context`` / ``estimate_matches_parallel`` spent one deprecation
+cycle as delegating shims and are now hard stubs: importable, but
+raising :class:`DeprecationWarning` with a migration hint when called.
+The second half of this module re-asserts the old shim behaviours
+through their documented replacements on :class:`CountingEngine`.
+"""
 
 import pytest
 
 from repro import count, count_colorful, count_exact, make_context
-from repro.counting import count_colorful_matches
+from repro.counting import count_colorful_matches, estimate_matches_parallel
+from repro.engine import CountingEngine
 from repro.graph import erdos_renyi
 from repro.query import cycle_query, paper_query
 
-# this module deliberately exercises the deprecated pre-engine shim API
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
+class TestRemovedShimsRaise:
+    @pytest.mark.parametrize(
+        "fn, hint",
+        [
+            (count, "CountingEngine.count"),
+            (count_colorful, "CountingEngine.count_colorful"),
+            (count_exact, "CountingEngine.count_exact"),
+            (make_context, "CountingEngine.make_context"),
+            (estimate_matches_parallel, "workers=N"),
+        ],
+    )
+    def test_call_raises_with_migration_hint(self, fn, hint, triangle_graph):
+        with pytest.raises(DeprecationWarning, match="removed") as excinfo:
+            fn(triangle_graph, cycle_query(3))
+        assert hint in str(excinfo.value)
+        assert "docs/API.md" in str(excinfo.value)
+
+    def test_stubs_raise_before_touching_arguments(self):
+        # old code fails at the call with the hint, never with a
+        # TypeError about changed signatures
+        with pytest.raises(DeprecationWarning):
+            count()
+        with pytest.raises(DeprecationWarning):
+            make_context(None, nranks=4, strategy="cyclic", track=False)
+
+    def test_names_still_importable_from_package_root(self):
+        import repro
+
+        for name in ("count", "count_colorful", "count_exact", "make_context"):
+            assert callable(getattr(repro, name))
 
 
 class TestCountColorfulDispatch:
@@ -18,41 +55,45 @@ class TestCountColorfulDispatch:
         q = paper_query("glet2")
         colors = rng.integers(0, q.k, size=g.n)
         expected = count_colorful_matches(g, q, colors)
+        engine = CountingEngine(g)
         for method in ("ps", "db", "ps-even"):
-            assert count_colorful(g, q, colors, method=method) == expected
+            assert engine.count_colorful(q, colors, method=method) == expected
 
     def test_unknown_method(self, triangle_graph):
         with pytest.raises(ValueError, match="unknown method"):
-            count_colorful(triangle_graph, cycle_query(3), [0, 1, 2], method="qq")
+            CountingEngine(triangle_graph).count_colorful(
+                cycle_query(3), [0, 1, 2], method="qq"
+            )
 
 
 class TestCountEstimate:
     def test_count_returns_result(self, rng):
         g = erdos_renyi(15, 0.3, rng, name="api")
-        result = count(g, paper_query("glet1"), trials=3, seed=1)
+        result = CountingEngine(g).count(paper_query("glet1"), trials=3, seed=1)
         assert result.trials == 3
         assert len(result.colorful_counts) == 3
 
     def test_count_exact_delegates(self, triangle_graph):
-        assert count_exact(triangle_graph, cycle_query(3)) == 6
+        assert CountingEngine(triangle_graph).count_exact(cycle_query(3)) == 6
 
 
 class TestMakeContext:
     def test_rank_count(self, rng):
         g = erdos_renyi(20, 0.3, rng)
-        ctx = make_context(g, nranks=4)
+        ctx = CountingEngine(g).make_context(nranks=4)
         assert ctx.nranks == 4
         assert ctx.track
 
     def test_strategy_forwarded(self, rng):
         g = erdos_renyi(20, 0.3, rng)
-        ctx = make_context(g, nranks=2, strategy="cyclic")
+        ctx = CountingEngine(g, partition_strategy="cyclic").make_context(nranks=2)
         assert list(ctx.partition.owners[:4]) == [0, 1, 0, 1]
 
-    def test_context_used_by_api(self, rng):
+    def test_context_used_by_engine(self, rng):
         g = erdos_renyi(20, 0.3, rng)
         q = cycle_query(3)
-        ctx = make_context(g, nranks=2)
+        engine = CountingEngine(g)
+        ctx = engine.make_context(nranks=2)
         colors = rng.integers(0, 3, size=g.n)
-        count_colorful(g, q, colors, ctx=ctx)
+        engine.count_colorful(q, colors, ctx=ctx)
         assert ctx.stats.total_ops() > 0

@@ -1,4 +1,4 @@
-"""Tests for coloring strategies and the process-parallel estimator."""
+"""Tests for coloring strategies and process-parallel trial fan-out."""
 
 import numpy as np
 import pytest
@@ -8,14 +8,11 @@ from repro.counting import (
     color_class_sizes,
     coloring_batch,
     estimate_matches,
-    estimate_matches_parallel,
     uniform_coloring,
 )
+from repro.engine import CountingEngine
 from repro.graph import erdos_renyi
 from repro.query import cycle_query, paper_query
-
-# this module deliberately exercises the deprecated pre-engine shim API
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
 
 
 
@@ -56,9 +53,8 @@ class TestColoringStrategies:
         q = cycle_query(4)
         seq = estimate_matches(g, q, trials=3, seed=5)
         batch = coloring_batch(g.n, q.k, 3, seed=5)
-        from repro.counting import count_colorful
-
-        counts = [count_colorful(g, q, c) for c in batch]
+        engine = CountingEngine(g)
+        counts = [engine.count_colorful(q, c) for c in batch]
         assert counts == seq.colorful_counts
 
 
@@ -67,25 +63,25 @@ class TestParallelEstimator:
         g = erdos_renyi(18, 0.35, rng, name="g18")
         q = paper_query("glet1")
         seq = estimate_matches(g, q, trials=4, seed=3)
-        par = estimate_matches_parallel(g, q, trials=4, seed=3, workers=2)
+        par = CountingEngine(g).count(q, trials=4, seed=3, workers=2)
         assert par.colorful_counts == seq.colorful_counts
         assert par.estimate == seq.estimate
 
     def test_single_worker_fallback(self, rng):
         g = erdos_renyi(15, 0.35, rng)
         q = cycle_query(3)
-        par = estimate_matches_parallel(g, q, trials=3, seed=1, workers=1)
+        par = CountingEngine(g).count(q, trials=3, seed=1, workers=1)
         seq = estimate_matches(g, q, trials=3, seed=1)
         assert par.colorful_counts == seq.colorful_counts
 
     def test_balanced_strategy(self, rng):
         g = erdos_renyi(15, 0.4, rng)
         q = cycle_query(3)
-        res = estimate_matches_parallel(
-            g, q, trials=3, seed=2, workers=1, coloring_strategy="balanced"
+        res = CountingEngine(g).count(
+            q, trials=3, seed=2, workers=1, coloring_strategy="balanced"
         )
         assert len(res.colorful_counts) == 3
 
     def test_rejects_zero_trials(self, triangle_graph):
         with pytest.raises(ValueError):
-            estimate_matches_parallel(triangle_graph, cycle_query(3), trials=0)
+            CountingEngine(triangle_graph).count(cycle_query(3), trials=0)

@@ -1,98 +1,84 @@
-"""The legacy counting shims warn exactly once per call site."""
+"""The removed counting shims raise :class:`DeprecationWarning` when called.
+
+The free functions in ``repro.counting.api`` / ``repro.counting.parallel``
+spent one release as warn-and-delegate shims; they are now hard stubs
+that *raise* the warning class as an exception.  These tests pin the
+stub contract: importable names, an exception (never a mere warning),
+and a message carrying the exact replacement plus a docs pointer.  The
+``warn_once_per_site`` helper stays tested for future deprecations.
+"""
 
 import warnings
 
-import numpy as np
 import pytest
 
-from repro.counting import count, count_colorful, estimate_matches_parallel
+from repro.counting import (
+    count,
+    count_colorful,
+    count_exact,
+    estimate_matches_parallel,
+    make_context,
+)
 from repro.counting._deprecation import reset_warning_sites, warn_once_per_site
-from repro.graph import erdos_renyi
-from repro.query import cycle_query
+
+STUBS = [
+    (count, "repro.engine.CountingEngine.count"),
+    (count_colorful, "repro.engine.CountingEngine.count_colorful"),
+    (count_exact, "repro.engine.CountingEngine.count_exact"),
+    (make_context, "repro.engine.CountingEngine.make_context"),
+    (estimate_matches_parallel, "repro.engine.CountingEngine.count"),
+]
 
 
-@pytest.fixture(autouse=True)
-def fresh_sites():
-    reset_warning_sites()
-    yield
-    reset_warning_sites()
+class TestHardStubs:
+    @pytest.mark.parametrize("fn, replacement", STUBS, ids=[f[0].__name__ for f in STUBS])
+    def test_raises_with_replacement(self, fn, replacement):
+        with pytest.raises(DeprecationWarning, match="has been removed") as excinfo:
+            fn()
+        message = str(excinfo.value)
+        assert replacement in message
+        assert "docs/API.md" in message
 
-
-@pytest.fixture
-def instance():
-    rng = np.random.default_rng(0)
-    g = erdos_renyi(10, 0.4, rng)
-    q = cycle_query(3)
-    colors = rng.integers(0, 3, size=g.n)
-    return g, q, colors
-
-
-def _call_count_colorful(g, q, colors):
-    # one fixed call site shared by the repetition tests
-    return count_colorful(g, q, colors, method="ps")
-
-
-class TestOncePerCallSite:
-    def test_emitted_on_first_call(self, instance):
-        g, q, colors = instance
+    @pytest.mark.parametrize("fn, _", STUBS, ids=[f[0].__name__ for f in STUBS])
+    def test_raises_not_warns(self, fn, _):
+        # an exception, never a suppressible warning: old call sites must
+        # fail loudly even under `-W ignore`
         with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            _call_count_colorful(g, q, colors)
-        assert len(caught) == 1
-        assert issubclass(caught[0].category, DeprecationWarning)
-        assert "repro.counting.count_colorful is deprecated" in str(caught[0].message)
+            warnings.simplefilter("ignore")
+            with pytest.raises(DeprecationWarning):
+                fn()
+        assert caught == []
 
-    def test_not_repeated_from_same_site(self, instance):
-        g, q, colors = instance
-        with warnings.catch_warnings(record=True) as caught:
-            # "always" would re-emit on every call if the shim did not
-            # de-duplicate per site itself
-            warnings.simplefilter("always")
-            for _ in range(5):
-                _call_count_colorful(g, q, colors)
-        assert len(caught) == 1
-
-    def test_distinct_sites_each_warn(self, instance):
-        g, q, colors = instance
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            count_colorful(g, q, colors, method="ps")  # site A
-            count_colorful(g, q, colors, method="ps")  # site B
-            _call_count_colorful(g, q, colors)  # site C
-        assert len(caught) == 3
-
-    def test_count_shim_warns(self, instance):
-        g, q, _colors = instance
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            count(g, q, trials=2, seed=0)
-        assert [w for w in caught if issubclass(w.category, DeprecationWarning)]
-
-    def test_parallel_shim_warns_once(self, instance):
-        g, q, _colors = instance
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            for _ in range(3):
-                estimate_matches_parallel(g, q, trials=2, seed=0, workers=1)
-        dep = [w for w in caught if issubclass(w.category, DeprecationWarning)]
-        assert len(dep) == 1
-        assert "estimate_matches_parallel" in str(dep[0].message)
-
-    def test_warning_points_at_caller(self, instance):
-        g, q, colors = instance
-        with warnings.catch_warnings(record=True) as caught:
-            warnings.simplefilter("always")
-            count_colorful(g, q, colors, method="ps")
-        assert caught[0].filename == __file__
+    @pytest.mark.parametrize("fn, _", STUBS, ids=[f[0].__name__ for f in STUBS])
+    def test_ignores_legacy_signatures(self, fn, _):
+        # every historical calling convention hits the stub message, not
+        # a confusing TypeError about changed parameters
+        with pytest.raises(DeprecationWarning):
+            fn(None, None, trials=3, seed=0, workers=2, method="ps")
 
 
 class TestHelper:
+    """``warn_once_per_site`` remains for future soft deprecations."""
+
+    @pytest.fixture(autouse=True)
+    def fresh_sites(self):
+        reset_warning_sites()
+        yield
+        reset_warning_sites()
+
     def test_helper_deduplicates_by_line(self):
         with warnings.catch_warnings(record=True) as caught:
             warnings.simplefilter("always")
             for _ in range(4):
                 warn_once_per_site("gone", stacklevel=1)
         assert len(caught) == 1
+
+    def test_distinct_sites_each_warn(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            warn_once_per_site("gone", stacklevel=1)  # site A
+            warn_once_per_site("gone", stacklevel=1)  # site B
+        assert len(caught) == 2
 
     def test_reset_reopens_sites(self):
         with warnings.catch_warnings(record=True) as caught:

@@ -168,6 +168,67 @@ def test_num_colors_extension_stays_bit_identical(graph_and_executor):
 
 
 # ----------------------------------------------------------------------
+# precision parity: rel_error=None is inert on every backend
+# ----------------------------------------------------------------------
+
+PRECISION_BACKENDS = ("ps", "ps-vec", "ps-dist")
+
+
+@pytest.mark.parametrize("method", PRECISION_BACKENDS)
+def test_fixed_precision_is_bit_identical_to_bare_trials(graph_and_executor, method):
+    """``precision=PrecisionSpec.fixed(N)`` == ``trials=N``, per backend.
+
+    The acceptance bar for the adaptive-precision API: with
+    ``rel_error=None`` the precision path must be invisible — same
+    colorful counts, same estimate, same cache key as the historical
+    fixed-trial spelling, on every backend including the sharded
+    multiprocess one.
+    """
+    from repro.engine import CountingEngine, EngineConfig, PrecisionSpec
+    from repro.engine.config import CountRequest
+    from repro.engine.fingerprint import request_fingerprint
+
+    g, _ = graph_and_executor
+    query = paper_query("glet1")
+    workers = 2 if method == "ps-dist" else 1
+    with CountingEngine(g, EngineConfig(seed=0, workers=workers)) as engine:
+        bare = engine.count(query, method=method, trials=5)
+        spec = engine.count(query, method=method, precision=PrecisionSpec.fixed(5))
+    assert bare.colorful_counts == spec.colorful_counts
+    assert bare.estimate == spec.estimate
+    assert not spec.stopped_early and spec.trials_used == 5
+    cfg = EngineConfig(seed=0, workers=workers)
+    assert request_fingerprint(
+        g.name, CountRequest(query, method=method, trials=5), cfg
+    ) == request_fingerprint(
+        g.name, CountRequest(query, method=method, precision=PrecisionSpec.fixed(5)), cfg
+    )
+
+
+def test_adaptive_runs_agree_across_backends(graph_and_executor):
+    """Adaptive scheduling is backend-invariant: every backend draws the
+    same coloring stream, stops at the same trial, and reports the same
+    counts — the parity matrix holds for the adaptive path too."""
+    from repro.engine import CountingEngine, EngineConfig, PrecisionSpec
+
+    g, _ = graph_and_executor
+    query = paper_query("glet1")
+    spec = PrecisionSpec(rel_error=0.4, min_trials=3, max_trials=40)
+    runs = {}
+    for method in PRECISION_BACKENDS:
+        workers = 2 if method == "ps-dist" else 1
+        with CountingEngine(g, EngineConfig(seed=0, workers=workers)) as engine:
+            runs[method] = engine.count(query, method=method, precision=spec)
+    reference = runs["ps"]
+    assert reference.trials_used < spec.max_trials  # the rule actually fired
+    for method, result in runs.items():
+        assert result.trials_used == reference.trials_used, method
+        assert result.stopped_early == reference.stopped_early, method
+        assert result.colorful_counts == reference.colorful_counts, method
+        assert result.estimate == reference.estimate, method
+
+
+# ----------------------------------------------------------------------
 # hypothesis sweep: free-form (graph, query, labels, coloring) triples
 # ----------------------------------------------------------------------
 

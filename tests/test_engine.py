@@ -289,42 +289,37 @@ class TestRunResult:
 
 
 class TestDeprecatedShims:
-    def test_shims_importable_and_working(self, graph, rng):
+    def test_stubs_importable_but_raise(self, graph, rng):
         from repro.counting import count, count_colorful, count_exact, make_context
         from repro.counting.api import count as api_count
 
         assert api_count is count
         q = cycle_query(3)
         colors = rng.integers(0, 3, size=graph.n)
-        with pytest.warns(DeprecationWarning):
-            assert count_colorful(graph, q, colors) == count_colorful_matches(
-                graph, q, colors
-            )
-        with pytest.warns(DeprecationWarning):
-            result = count(graph, q, trials=2, seed=1)
-        assert isinstance(result, EstimateResult)
-        with pytest.warns(DeprecationWarning):
-            assert count_exact(graph, q) == count_matches(graph, q)
-        ctx = make_context(graph, nranks=2)
-        assert ctx.nranks == 2
+        for call in (
+            lambda: count_colorful(graph, q, colors),
+            lambda: count(graph, q, trials=2, seed=1),
+            lambda: count_exact(graph, q),
+            lambda: make_context(graph, nranks=2),
+        ):
+            with pytest.raises(DeprecationWarning, match="has been removed"):
+                call()
 
-    def test_parallel_shim(self, graph):
+    def test_parallel_stub_raises(self, graph):
         from repro.counting import estimate_matches_parallel
 
         q = paper_query("glet1")
-        with pytest.warns(DeprecationWarning):
-            par = estimate_matches_parallel(graph, q, trials=3, seed=2, workers=2)
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            seq = estimate_matches(graph, q, trials=3, seed=2)
-        assert par.colorful_counts == seq.colorful_counts
+        with pytest.raises(DeprecationWarning, match="workers=N"):
+            estimate_matches_parallel(graph, q, trials=3, seed=2, workers=2)
 
-    def test_shim_matches_engine(self, graph):
-        from repro.counting import count
-
-        q = paper_query("glet1")
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            legacy = count(graph, q, trials=3, seed=5)
-        modern = CountingEngine(graph).count(q, trials=3, seed=5)
-        assert legacy.colorful_counts == modern.colorful_counts
+    def test_engine_replaces_shims(self, graph, rng):
+        q = cycle_query(3)
+        colors = rng.integers(0, 3, size=graph.n)
+        engine = CountingEngine(graph)
+        assert engine.count_colorful(q, colors) == count_colorful_matches(
+            graph, q, colors
+        )
+        assert engine.count_exact(q) == count_matches(graph, q)
+        result = engine.count(q, trials=2, seed=1)
+        assert isinstance(result, EstimateResult)
+        assert engine.make_context(nranks=2).nranks == 2

@@ -8,17 +8,17 @@ behaviour.
 import numpy as np
 import pytest
 
-from repro import count, count_colorful, count_exact, make_context, paper_query
+from repro import paper_query
 from repro.bench import dataset
 from repro.counting import (
     count_colorful_matches,
     estimate_matches,
-    estimate_matches_parallel,
     verify_counting,
 )
 from repro.counting.estimator import random_coloring
 from repro.decomposition import build_decomposition, choose_plan, validate_plan
 from repro.distributed import compare_methods, run_distributed, strong_scaling
+from repro.engine import CountingEngine
 from repro.graph import (
     chung_lu_power_law,
     erdos_renyi,
@@ -30,9 +30,6 @@ from repro.graph import (
 from repro.motifs import motif_census
 from repro.query import random_tw2_query, satellite
 
-# this module deliberately exercises the deprecated pre-engine shim API
-pytestmark = pytest.mark.filterwarnings("ignore::DeprecationWarning")
-
 
 class TestFullPipeline:
     def test_generate_plan_count_estimate(self, rng):
@@ -43,8 +40,9 @@ class TestFullPipeline:
         q = paper_query("glet2")
         plan = choose_plan(q)
         validate_plan(plan)
-        exact = count_exact(g, q)
-        result = count(g, q, trials=25, seed=9, plan=plan)
+        engine = CountingEngine(g)
+        exact = engine.count_exact(q)
+        result = engine.count(q, trials=25, seed=9, plan=plan)
         if exact > 100:
             assert result.estimate == pytest.approx(exact, rel=0.5)
 
@@ -55,17 +53,18 @@ class TestFullPipeline:
         g2 = read_edge_list(path)
         q = paper_query("glet1")
         colors = random_coloring(g.n, q.k, rng)
-        assert count_colorful(g, q, colors) == count_colorful(g2, q, colors)
+        first = CountingEngine(g).count_colorful(q, colors)
+        assert first == CountingEngine(g2).count_colorful(q, colors)
 
     def test_subgraph_counts_bounded_by_parent(self, rng):
         """Induced subgraph can only lose matches."""
         g = erdos_renyi(25, 0.3, rng)
         q = paper_query("glet1")
         colors = random_coloring(g.n, q.k, rng)
-        full = count_colorful(g, q, colors)
+        full = CountingEngine(g).count_colorful(q, colors)
         sub, remap = induced_subgraph(g, range(15))
         sub_colors = colors[sorted(remap)]
-        assert count_colorful(sub, q, sub_colors) <= full
+        assert CountingEngine(sub).count_colorful(q, sub_colors) <= full
 
 
 class TestDatasetJourney:
@@ -89,8 +88,8 @@ class TestEstimatorConsistency:
         g = erdos_renyi(25, 0.25, rng, name="est")
         q = paper_query("glet1")
         seq = estimate_matches(g, q, trials=3, seed=2)
-        par = estimate_matches_parallel(g, q, trials=3, seed=2, workers=2)
-        ctx = make_context(g, nranks=4)
+        par = CountingEngine(g).count(q, trials=3, seed=2, workers=2)
+        ctx = CountingEngine(g).make_context(nranks=4)
         tracked = estimate_matches(g, q, trials=3, seed=2, ctx=ctx)
         assert seq.colorful_counts == par.colorful_counts == tracked.colorful_counts
         assert ctx.stats.total_ops() > 0  # the context really accounted
@@ -105,8 +104,9 @@ class TestSatelliteEndToEnd:
         g = erdos_renyi(12, 0.5, rng)
         colors = random_coloring(g.n, q.k, rng)
         expected = count_colorful_matches(g, q, colors)
-        assert count_colorful(g, q, colors, method="ps", plan=plan) == expected
-        assert count_colorful(g, q, colors, method="db", plan=plan) == expected
+        engine = CountingEngine(g)
+        assert engine.count_colorful(q, colors, method="ps", plan=plan) == expected
+        assert engine.count_colorful(q, colors, method="db", plan=plan) == expected
         run = run_distributed(g, q, colors, 4, plan=plan)
         assert run.count == expected
 

@@ -69,7 +69,7 @@ class TestCanonicalForm:
 
     def test_counts_are_isomorphism_invariant(self, rng):
         """Match counts do not depend on query labelling."""
-        from repro.counting import count_colorful
+        from repro.engine import CountingEngine
         from repro.graph import erdos_renyi
 
         g = erdos_renyi(10, 0.5, rng)
@@ -77,4 +77,5 @@ class TestCanonicalForm:
         perm = {v: f"x{v}" for v in q.nodes()}
         relabeled = QueryGraph([(perm[a], perm[b]) for a, b in q.edges()])
         colors = rng.integers(0, q.k, size=g.n)
-        assert count_colorful(g, q, colors) == count_colorful(g, relabeled, colors)
+        engine = CountingEngine(g)
+        assert engine.count_colorful(q, colors) == engine.count_colorful(relabeled, colors)

@@ -75,8 +75,9 @@ class TestMixedSampler:
     def test_decomposable_and_countable(self, rng):
         """End-to-end fuzz: every generated query decomposes, validates
         and counts identically under PS/DB/brute force."""
-        from repro.counting import count_colorful, count_colorful_matches
+        from repro.counting import count_colorful_matches
         from repro.decomposition import build_decomposition, validate_plan
+        from repro.engine import CountingEngine
         from repro.graph import erdos_renyi
 
         for _ in range(12):
@@ -86,5 +87,6 @@ class TestMixedSampler:
             g = erdos_renyi(8, 0.5, rng)
             colors = rng.integers(0, q.k, size=g.n)
             expected = count_colorful_matches(g, q, colors)
-            assert count_colorful(g, q, colors, method="ps", plan=plan) == expected
-            assert count_colorful(g, q, colors, method="db", plan=plan) == expected
+            engine = CountingEngine(g)
+            assert engine.count_colorful(q, colors, method="ps", plan=plan) == expected
+            assert engine.count_colorful(q, colors, method="db", plan=plan) == expected
