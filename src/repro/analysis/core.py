@@ -121,7 +121,7 @@ class AnalysisConfig:
     # -- RP001: determinism ------------------------------------------------
     rp001_scopes: Tuple[str, ...] = (
         "counting/", "distributed/", "benchmarks/",
-        "graph/", "query/", "theory/", "motifs/", "bench/",
+        "graph/", "query/", "theory/", "motifs/", "bench/", "obs/",
     )
     #: np.random attributes that are part of the *seeded* API
     rp001_np_random_allowed: Tuple[str, ...] = (
@@ -182,6 +182,21 @@ class AnalysisConfig:
             "DatasetRegistry": {
                 "_lock": ("_entries",),
             },
+            "Counter": {
+                "_lock": ("_values",),
+            },
+            "Gauge": {
+                "_lock": ("_values",),
+            },
+            "Histogram": {
+                "_lock": ("_counts", "_sums"),
+            },
+            "MetricsRegistry": {
+                "_lock": ("_metrics",),
+            },
+            "Trace": {
+                "_lock": ("_events",),
+            },
         }
     )
     #: methods allowed to touch guarded state without the lock
@@ -196,7 +211,7 @@ class AnalysisConfig:
     #: above ``counting`` because the executor drives the vectorized DP.
     rp004_layers: Mapping[str, int] = field(
         default_factory=lambda: {
-            "graph": 0, "query": 0, "tables": 0,
+            "graph": 0, "query": 0, "tables": 0, "obs": 0,
             "decomposition": 1, "theory": 1,
             "distributed.partition": 1, "distributed.runtime": 1,
             "counting": 2,
@@ -244,7 +259,7 @@ class AnalysisConfig:
 
     # -- RP006: typed public seams ------------------------------------------
     rp006_scopes: Tuple[str, ...] = (
-        "repro/engine/", "repro/service/", "repro/analysis/",
+        "repro/engine/", "repro/service/", "repro/analysis/", "repro/obs/",
         "graph/graph.py", "counting/vectorized.py", "counting/xp.py",
         "distributed/executor.py",
     )

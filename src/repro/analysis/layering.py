@@ -2,7 +2,7 @@
 
 The repo's import DAG (low to high)::
 
-    graph / query / tables                      L0  primitives
+    graph / query / tables / obs                L0  primitives
     decomposition / theory /
       distributed.partition / .runtime          L1  substrate
     counting                                    L2  kernels

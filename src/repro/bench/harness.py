@@ -66,6 +66,7 @@ __all__ = [
     "PRECISION_MAX_TRIALS",
     "STRICT_OVERHEAD_CELL",
     "STRICT_OVERHEAD_LIMIT",
+    "OBS_OVERHEAD_LIMIT",
     "SCALING_GRID",
     "SCALING_WORKERS",
     "DEFAULT_TOLERANCE",
@@ -256,6 +257,13 @@ PERF_SMOKE_GRID = (
 #: amortized over array-sized work, so 1.3x is generous headroom
 STRICT_OVERHEAD_CELL = ("condmat", "wiki")
 STRICT_OVERHEAD_LIMIT = 1.3
+
+#: observability-overhead datapoint on the same cell: ps-vec with
+#: :mod:`repro.obs` enabled (the default — spans/counters present but
+#: nobody collecting) must stay within this factor of the same run with
+#: the kill-switch thrown.  A dormant span costs two module-attribute
+#: reads per call site, so instrumentation must be within noise of free
+OBS_OVERHEAD_LIMIT = 1.05
 
 
 def calibration_seconds(repeats: int = 3) -> float:
@@ -464,6 +472,26 @@ def run_perf_smoke(
             "perf_smoke", gname, qname, "ps-vec@strict", best,
             count=count, calibrated=best / cal, namespace="strict",
             overhead_vs_numpy=best / numpy_best,
+        )
+    )
+
+    # obs-overhead datapoint: the same ps-vec cell with the observability
+    # layer kill-switched off.  ``numpy_best`` above ran with obs enabled
+    # (the default: spans and counters present, nobody collecting);
+    # main() gates enabled-over-disabled at OBS_OVERHEAD_LIMIT.
+    from .. import obs
+
+    obs.disable()
+    try:
+        off_best, off_count = _best_of("numpy", reps)
+    finally:
+        obs.enable()
+    assert off_count == numpy_count, "obs kill-switch changed the count"
+    records.append(
+        bench_record(
+            "perf_smoke", gname, qname, "ps-vec@obs-off", off_best,
+            count=off_count, calibrated=off_best / cal,
+            overhead_obs_enabled=numpy_best / off_best,
         )
     )
     return records
@@ -845,6 +873,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(
                 f"FAIL: strict-namespace seam overhead {overhead:.2f}x > "
                 f"allowed {STRICT_OVERHEAD_LIMIT:g}x on "
+                f"{'/'.join(STRICT_OVERHEAD_CELL)}"
+            )
+            return 1
+
+    obs_rec = next(
+        (r for r in records if str(r["key"]).endswith("ps-vec@obs-off")), None
+    )
+    if obs_rec is not None:
+        obs_overhead = float(obs_rec["overhead_obs_enabled"])
+        print(f"[obs instrumentation overhead (enabled vs disabled): "
+              f"{obs_overhead:.2f}x]")
+        if obs_overhead > OBS_OVERHEAD_LIMIT:
+            print(
+                f"FAIL: obs instrumentation overhead {obs_overhead:.2f}x > "
+                f"allowed {OBS_OVERHEAD_LIMIT:g}x on "
                 f"{'/'.join(STRICT_OVERHEAD_CELL)}"
             )
             return 1

@@ -129,17 +129,37 @@ def _cmd_count(args: argparse.Namespace) -> int:
         if args.labels:
             q = q.with_labels(_parse_query_labels(q, args.labels))
         precision = _parse_precision(args)
+        trace: Optional[object] = None
         with CountingEngine(g, partition_strategy=args.partition) as engine:
-            result = engine.count(
-                q,
-                trials=args.trials,
-                precision=precision,
-                seed=args.seed,
-                method=args.method,
-                num_colors=args.num_colors,
-                workers=args.workers,
-                namespace=args.namespace,
-            )
+            if args.trace:
+                # collect the measured trace around the whole run and dump
+                # it as one Chrome trace-event JSON (chrome://tracing,
+                # Perfetto, or `python -m repro.obs.view`)
+                from . import obs
+
+                with obs.collect() as trace:
+                    result = engine.count(
+                        q,
+                        trials=args.trials,
+                        precision=precision,
+                        seed=args.seed,
+                        method=args.method,
+                        num_colors=args.num_colors,
+                        workers=args.workers,
+                        namespace=args.namespace,
+                    )
+                obs.write_chrome_trace(args.trace, trace)
+            else:
+                result = engine.count(
+                    q,
+                    trials=args.trials,
+                    precision=precision,
+                    seed=args.seed,
+                    method=args.method,
+                    num_colors=args.num_colors,
+                    workers=args.workers,
+                    namespace=args.namespace,
+                )
     except (KeyError, OSError, ValueError, BackendUnavailable) as exc:
         return _cli_error(exc)
     palette = f", num_colors={result.num_colors}" if result.num_colors != q.k else ""
@@ -160,6 +180,9 @@ def _cmd_count(args: argparse.Namespace) -> int:
         print(f"{conf:.0%} CI         : [{result.ci_low:.6g}, {result.ci_high:.6g}]")
     print(f"rel. std       : {result.relative_std:.4f}")
     print(f"elapsed        : {result.wall_clock:.2f}s")
+    if args.trace and trace is not None:
+        print(f"trace          : {args.trace} ({len(trace)} spans, "
+              f"id={result.trace_id})")
     return 0
 
 
@@ -275,6 +298,11 @@ def add_serve_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--partition", choices=("block", "cyclic", "hash"), default="block",
                         help="vertex partition strategy for ps-dist shards (default: %(default)s)")
     parser.add_argument("--verbose", action="store_true", help="log every HTTP request")
+    parser.add_argument(
+        "--access-log", action="store_true",
+        help="one structured JSON line per request on stderr (method, "
+        "path, status, duration_ms, trace_id); off by default",
+    )
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
@@ -368,6 +396,12 @@ def build_parser() -> argparse.ArgumentParser:
         "--graph-labels", default=None, metavar="SPEC",
         help="data-graph labels: a file with one integer per vertex, or "
         "'random:<L>[:<seed>]' for deterministic random labels",
+    )
+    p_count.add_argument(
+        "--trace", default=None, metavar="OUT.json",
+        help="write a Chrome trace-event JSON of the run (engine, solver "
+        "stages, and — with ps-dist — per-rank worker spans); view with "
+        "chrome://tracing or `python -m repro.obs.view`",
     )
     p_count.set_defaults(func=_cmd_count)
 

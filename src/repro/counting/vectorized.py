@@ -47,6 +47,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..decomposition.blocks import CYCLE, LEAF, SINGLETON, Block
 from ..decomposition.planner import heuristic_plan
 from ..decomposition.tree import Plan
@@ -441,12 +442,18 @@ class VectorizedSolver:
     def solve(self, block: Block) -> object:
         key = id(block)
         if key not in self._solved:
-            if block.kind == LEAF:
-                result = self._solve_leaf(block)
-            elif block.kind == CYCLE:
-                result = self._solve_cycle(block)
-            else:  # pragma: no cover - singletons handled by solve_plan_vectorized
-                raise ValueError("singleton blocks are roots, not solvable tables")
+            # one coarse span per DP stage — obs.span is a shared no-op
+            # unless a trace is actively collected, so the perf-gated
+            # sweep pays two global reads here and nothing else
+            with obs.span(f"sweep.{block.kind}", boundary=len(block.boundary)):
+                if block.kind == LEAF:
+                    result = self._solve_leaf(block)
+                elif block.kind == CYCLE:
+                    result = self._solve_cycle(block)
+                else:  # pragma: no cover - singletons handled by solve_plan_vectorized
+                    raise ValueError(
+                        "singleton blocks are roots, not solvable tables"
+                    )
             self._solved[key] = result
         return self._solved[key]
 

@@ -45,6 +45,8 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import obs
+from ..obs import catalogue as obs_catalogue
 from ..counting.labels import label_masks_from_arrays
 from ..counting.xp import cpu_namespace
 from ..counting.vectorized import (
@@ -202,12 +204,16 @@ def _worker_main(
     """Worker loop: solve shard-restricted blocks on request.
 
     Protocol (master → worker): ``("plan", key, plan)`` registers a plan,
-    ``("trial", key, k, qlabels)`` starts a trial (fresh solver over the
-    current shared coloring; ``qlabels`` is the labeled query's node →
-    label map, or ``None``), ``("block", idx)`` solves one block's shard,
-    ``("table", idx, payload)`` installs a combined child table,
-    ``("stop",)`` exits.  Worker → master: ``("shard", idx, payload,
-    cpu_seconds, wall_seconds)`` or ``("error", exception)``.
+    ``("trial", key, k, qlabels, trace_id)`` starts a trial (fresh solver
+    over the current shared coloring; ``qlabels`` is the labeled query's
+    node → label map, or ``None``; ``trace_id`` is the master's obs trace
+    ID when a trace is being collected, else ``None``), ``("block", idx)``
+    solves one block's shard, ``("table", idx, payload)`` installs a
+    combined child table, ``("stop",)`` exits.  Worker → master:
+    ``("shard", idx, payload, cpu_seconds, wall_seconds, events)`` —
+    ``events`` is the list of obs span events recorded in this worker
+    since the last reply (empty when no trace is active) — or
+    ``("error", exception)``.
     """
     shms = [_attach_shm(nm) for nm in shm_names]
     indptr = np.ndarray((n + 1,), dtype=np.int64, buffer=shms[0].buf)
@@ -250,6 +256,16 @@ def _worker_main(
                         vertex_ok=label_masks_from_arrays(labels, msg[3]),
                         xp=cpu_namespace(),
                     )
+                    # re-establish the master's trace across the process
+                    # boundary: install a local collector so the solver's
+                    # sweep spans (and the dist.solve wrapper below) are
+                    # recorded here and shipped back with each shard reply
+                    trace_id = msg[4] if len(msg) > 4 else None
+                    obs.install_trace(
+                        obs.Trace(trace_id) if trace_id is not None else None
+                    )
+                    if trace_id is not None:
+                        obs.set_trace_id(trace_id)
                     pending_error = None  # stale failures die with their trial
                 elif op == "block":
                     if pending_error is not None:
@@ -259,10 +275,13 @@ def _worker_main(
                     idx = msg[1]
                     wall0 = time.perf_counter()
                     cpu0 = time.process_time()
-                    result = solver.solve(blocks[idx])
+                    with obs.span("dist.solve", rank=rank, block=idx):
+                        result = solver.solve(blocks[idx])
                     cpu = time.process_time() - cpu0
                     wall = time.perf_counter() - wall0
-                    conn.send(("shard", idx, _pack(result), cpu, wall))
+                    trace = obs.active_trace()
+                    events = trace.drain() if trace is not None else []
+                    conn.send(("shard", idx, _pack(result), cpu, wall, events))
                 elif op == "table":
                     solver.inject(blocks[msg[1]], _unpack(msg[2]))
             except Exception as exc:  # noqa: BLE001 - forwarded to the master
@@ -458,11 +477,14 @@ class ShardedExecutor:
             if msg[0] == "error":
                 error = error or msg[1]
                 continue
-            _, _, payload, cpu, wall = msg
+            _, _, payload, cpu, wall, events = msg
             rec.cpu[rank] = cpu
             rec.wall[rank] = wall
             rec.rows[rank] = _payload_rows(payload)
             shards[rank] = payload
+            # merge shard-worker spans into the active trace (no-op when
+            # nothing is being collected — workers ship an empty list then)
+            obs.add_events(events)
         if error is not None:
             # workers are already idle again (they answer one message at a
             # time); the next count() starts a fresh trial
@@ -522,19 +544,36 @@ class ShardedExecutor:
 
             key = self._register_plan_locked(plan)
             self._colors_view[:] = colors
-            self._broadcast(("trial", key, k, qlabels))
+            # ship the trace ID only while a trace is actually being
+            # collected — otherwise workers skip span recording entirely
+            trace_id = (
+                obs.current_trace_id() if obs.active_trace() is not None else None
+            )
+            self._broadcast(("trial", key, k, qlabels, trace_id))
 
             blocks = plan.blocks()
             stages = blocks[:-1] if root.kind == SINGLETON else blocks
             last_combined: object = None
             for idx, block in enumerate(stages):
-                self._broadcast(("block", idx))
-                shards = self._gather(stats, f"b{idx}:{block.kind}")
-                last_combined = _combine_shards(shards)
-                if idx < len(stages) - 1:
-                    # publish the combined child table for the parents' joins;
-                    # the final stage's result is consumed only by the master
-                    self._broadcast(("table", idx, _pack(last_combined)))
+                stage_name = f"b{idx}:{block.kind}"
+                with obs.span(
+                    "dist.superstep", stage=stage_name, workers=self.nranks
+                ) as sp:
+                    self._broadcast(("block", idx))
+                    shards = self._gather(stats, stage_name)
+                    last_combined = _combine_shards(shards)
+                    if idx < len(stages) - 1:
+                        # publish the combined child table for the parents'
+                        # joins; the final stage's result is consumed only
+                        # by the master
+                        self._broadcast(("table", idx, _pack(last_combined)))
+                    # fold the measured WallStats row into the trace span
+                    rec = stats.stages[-1]
+                    sp.add(
+                        rows=int(rec.rows.sum()),
+                        max_wall=float(rec.wall.max()),
+                        max_cpu=float(rec.cpu.max()),
+                    )
             if root.kind == SINGLETON:
                 # bottom-up block order puts the root's only child last
                 (child,) = root.node_ann.values()
@@ -542,6 +581,8 @@ class ShardedExecutor:
                 count = last_combined.total()
             else:
                 count = last_combined  # 0-boundary root cycle: scalar partials
+            obs_catalogue.dist_supersteps().inc(len(stages))
+            obs_catalogue.dist_exchanged_rows().inc(stats.exchanged_rows())
             stats.wall_seconds = time.perf_counter() - t0
             self._runs += 1
             return ShardResult(int(count), stats)

@@ -1,4 +1,11 @@
-"""Scaling metrics derived from simulated runs (Figures 10-13)."""
+"""Scaling metrics derived from simulated runs (Figures 10-13).
+
+Not to be confused with :mod:`repro.obs.metrics` — that module is the
+process-wide operational metrics registry (counters/gauges/histograms
+served at ``GET /metrics``); this one computes the paper's scaling
+*figures* (improvement factors, strong-scaling curves) from simulated
+:class:`~repro.distributed.runtime.LoadStats` runs.
+"""
 
 from __future__ import annotations
 

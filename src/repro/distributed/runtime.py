@@ -21,6 +21,11 @@ shards in real worker processes, the simulated counters serve as the
 per-rank wall/CPU seconds per superstep, recorded from the actual run,
 with the same makespan/imbalance/speedup surface so predicted and
 measured numbers can be compared side by side.
+
+The executor additionally folds each superstep's :class:`WallStats` row
+(rows exchanged, slowest rank's wall/CPU) into the measured-trace spans
+of :mod:`repro.obs` when a trace is being collected, so per-stage
+accounting and wall-clock spans line up in one Chrome trace.
 """
 
 from __future__ import annotations

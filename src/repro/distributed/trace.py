@@ -5,6 +5,13 @@ human-readable reports: stage timelines, per-rank load profiles and
 imbalance hot spots.  Used by the load-balance benches and handy when
 debugging why a plan is slow (which join step concentrates on which
 rank's hub vertices).
+
+Not to be confused with :mod:`repro.obs.tracing` — that module records
+*measured* spans (wall-clock trace events for Chrome/Perfetto) while
+this one reports the *simulated* cost model.  Both render through one
+viewer: ``python -m repro.obs.view`` summarises Chrome trace files and,
+with ``--load-stats``, feeds a ``LoadStats.to_dict()`` dump through
+:func:`format_trace`.
 """
 
 from __future__ import annotations

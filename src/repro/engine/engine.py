@@ -38,6 +38,8 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Tupl
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
     from ..distributed.executor import ShardedExecutor
 
+from .. import obs
+from ..obs import catalogue as obs_catalogue
 from ..counting.colorings import coloring_batch, coloring_stream
 from ..counting.bruteforce import count_matches
 from ..counting.estimator import StreamingEstimate, normalization_factor
@@ -129,11 +131,16 @@ def _init_worker(
     plan: Optional[Plan],
     num_colors: Optional[int],
     extra: Dict[str, object],
+    trace_id: Optional[str] = None,
 ) -> None:  # pragma: no cover
     _WORKER_STATE.update(
         backend=backend, graph=graph, query=query, plan=plan,
         num_colors=num_colors, extra=extra,
     )
+    # re-establish the parent's trace ID across the fork boundary so any
+    # spans recorded in this worker join the same trace
+    if trace_id is not None:
+        obs.set_trace_id(trace_id)
 
 
 def _run_trial(colors: Sequence[int]) -> int:  # pragma: no cover - runs in subprocess
@@ -222,7 +229,9 @@ class CountingEngine:
             plan = self._plan_cache.get(query)
             if plan is not None:
                 self.stats.plan_cache_hits += 1
-                return plan, True
+        if plan is not None:
+            obs_catalogue.engine_plan_cache().inc(result="hit")
+            return plan, True
         # build outside the lock so a slow planner run never stalls
         # other queries' cache hits; on a lost race the winner's plan is
         # used and only the insert counts as a build (exact counters)
@@ -231,10 +240,14 @@ class CountingEngine:
             plan = self._plan_cache.get(query)
             if plan is not None:
                 self.stats.plan_cache_hits += 1
-                return plan, True
-            self.stats.plan_builds += 1
-            self._plan_cache[query] = built
-            return built, False
+            else:
+                self.stats.plan_builds += 1
+                self._plan_cache[query] = built
+        if plan is not None:
+            obs_catalogue.engine_plan_cache().inc(result="hit")
+            return plan, True
+        obs_catalogue.engine_plan_cache().inc(result="miss")
+        return built, False
 
     def _effective_plan(self, plan: Plan, query: QueryGraph) -> Plan:
         """``plan`` re-rooted on ``query`` when their labels differ.
@@ -446,6 +459,47 @@ class CountingEngine:
         r: CountRequest,
         on_progress: Optional["ProgressCallback"] = None,
     ) -> RunResult:
+        # observability shell: mint (or inherit) the request's trace ID,
+        # wrap the run in the engine-level span, and account the request
+        # into the metrics registry.  The trace ID deliberately does NOT
+        # enter CountRequest — it would shear request fingerprints — and
+        # rides the obs contextvar plus explicit worker handoffs instead.
+        trace_id = obs.current_trace_id()
+        token = None
+        if trace_id is None:
+            trace_id = obs.new_trace_id()
+            token = obs.set_trace_id(trace_id)
+        try:
+            with obs.span(
+                "engine.count",
+                graph=self.graph.name or "graph",
+                query=r.query.name or "query",
+                method=r.method,
+            ) as sp:
+                result = self._execute_traced(r, trace_id, on_progress=on_progress)
+                sp.add(
+                    backend=result.method,
+                    trials=result.trials_used,
+                    stopped_early=result.stopped_early,
+                )
+        finally:
+            if token is not None:
+                obs.reset_trace_id(token)
+        obs_catalogue.engine_requests().inc(method=result.method)
+        obs_catalogue.engine_request_seconds().observe(
+            result.wall_clock or 0.0, method=result.method
+        )
+        obs_catalogue.engine_trials().inc(result.trials_used)
+        if result.stopped_early:
+            obs_catalogue.engine_stopped_early().inc()
+        return result
+
+    def _execute_traced(
+        self,
+        r: CountRequest,
+        trace_id: str,
+        on_progress: Optional["ProgressCallback"] = None,
+    ) -> RunResult:
         # request-level labels specialise the query before planning, so
         # the plan cache keys labeled and unlabeled variants separately
         q = r.effective_query()
@@ -526,7 +580,10 @@ class CountingEngine:
                 with fork.Pool(
                     processes=workers,
                     initializer=_init_worker,
-                    initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
+                    initargs=(
+                        backend, self.graph, q, plan, r.num_colors, ns_extra,
+                        trace_id,
+                    ),
                 ) as pool:
                     counts = pool.map(_run_trial, colorings)
                 trial_times = None
@@ -539,12 +596,13 @@ class CountingEngine:
                 trial_times = []
                 for colors in colorings:
                     t1 = time.perf_counter()
-                    counts.append(
-                        backend.count_colorful(
-                            self.graph, q, colors, plan=plan, ctx=ctx,
-                            num_colors=r.num_colors, **extra,
+                    with obs.span("engine.trial", index=len(counts)):
+                        counts.append(
+                            backend.count_colorful(
+                                self.graph, q, colors, plan=plan, ctx=ctx,
+                                num_colors=r.num_colors, **extra,
+                            )
                         )
-                    )
                     trial_times.append(time.perf_counter() - t1)
                     acc.push(int(counts[-1]))
                     if on_progress is not None:
@@ -570,7 +628,10 @@ class CountingEngine:
                     pool = fork.Pool(
                         processes=workers,
                         initializer=_init_worker,
-                        initargs=(backend, self.graph, q, plan, r.num_colors, ns_extra),
+                        initargs=(
+                            backend, self.graph, q, plan, r.num_colors, ns_extra,
+                            trace_id,
+                        ),
                     )
                 while len(counts) < cap:
                     if len(counts) < spec.min_trials:
@@ -579,13 +640,14 @@ class CountingEngine:
                         want = step
                     want = max(1, min(want, cap - len(counts)))
                     batch = [next(stream) for _ in range(want)]
-                    if pool is not None:
-                        new = pool.map(_run_trial, batch)
-                    else:
-                        new = backend.count_colorful_batch(
-                            self.graph, q, batch, plan=plan, ctx=ctx,
-                            num_colors=r.num_colors, **extra,
-                        )
+                    with obs.span("engine.batch", start=len(counts), size=want):
+                        if pool is not None:
+                            new = pool.map(_run_trial, batch)
+                        else:
+                            new = backend.count_colorful_batch(
+                                self.graph, q, batch, plan=plan, ctx=ctx,
+                                num_colors=r.num_colors, **extra,
+                            )
                     for c in new:
                         acc.push(int(c))
                         counts.append(int(c))
@@ -633,6 +695,7 @@ class CountingEngine:
             stopped_early=stopped_early,
             ci_low=ci_low,
             ci_high=ci_high,
+            trace_id=trace_id,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

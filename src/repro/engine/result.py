@@ -23,6 +23,7 @@ __all__ = ["RunResult", "plan_summary", "WIRE_VERSION"]
 #: serialization format version emitted by :meth:`RunResult.to_dict`.
 #: v1 (implicit, pre-adaptive) lacked ``wire_version`` and the CI /
 #: adaptive-provenance fields; :meth:`RunResult.from_dict` accepts both.
+#: ``trace_id`` is an optional v2 key (absent/None on older documents).
 WIRE_VERSION = 2
 
 
@@ -75,6 +76,10 @@ class RunResult(EstimateResult):
     #: variance with no usable fallback)
     ci_low: Optional[float] = None
     ci_high: Optional[float] = None
+    #: observability trace ID minted (or inherited) for this run; joins
+    #: the result to its spans in a collected trace.  Not part of the
+    #: request fingerprint — two identical requests get distinct IDs.
+    trace_id: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.trials_used:
@@ -140,6 +145,7 @@ class RunResult(EstimateResult):
             "stopped_early": bool(self.stopped_early),
             "ci_low": float(self.ci_low) if self.ci_low is not None else None,
             "ci_high": float(self.ci_high) if self.ci_high is not None else None,
+            "trace_id": self.trace_id,
             # derived, for dashboards/JSON consumers (ignored by from_dict)
             "estimate": float(self.estimate),
             "relative_std": float(self.relative_std),
@@ -196,6 +202,9 @@ class RunResult(EstimateResult):
             ),
             ci_high=(
                 float(doc["ci_high"]) if doc.get("ci_high") is not None else None
+            ),
+            trace_id=(
+                str(doc["trace_id"]) if doc.get("trace_id") is not None else None
             ),
         )
 

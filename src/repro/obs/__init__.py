@@ -1,0 +1,91 @@
+"""`repro.obs` — structured tracing, metrics, and exposition (layer 0).
+
+Stdlib-only observability substrate every other package may import:
+
+* **Tracing** (:mod:`repro.obs.tracing`): ``obs.span(name, **args)``
+  context managers on ``perf_counter``, per-request trace IDs on a
+  contextvar, Chrome trace-event export, cross-process event merge.
+* **Metrics** (:mod:`repro.obs.metrics`): a process-wide thread-safe
+  :class:`MetricsRegistry` of counters, gauges, and fixed-bucket
+  histograms; the instrument-point catalogue is
+  :mod:`repro.obs.catalogue`.
+* **Exposition** (:mod:`repro.obs.exposition`): Prometheus text
+  rendering (served at ``GET /metrics``) and a strict parser for
+  reconciliation tests.
+
+The global kill-switch :func:`disable` compiles spans and observations
+down to near-no-ops — the perf-smoke gate holds the vectorized kernels
+with observability disabled to ≤1.05x their uninstrumented timing.
+``python -m repro.obs.view`` summarises trace files (and ``LoadStats``
+dumps from :mod:`repro.distributed`) in the terminal.
+"""
+
+from .exposition import CONTENT_TYPE, parse_prometheus_text, render_prometheus
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricError,
+    MetricsRegistry,
+    registry,
+)
+from .state import disable, enable, is_enabled
+from .tracing import (
+    NoopSpan,
+    Span,
+    Trace,
+    active_trace,
+    add_events,
+    chrome_document,
+    chrome_events,
+    collect,
+    current_trace_id,
+    finish_trace,
+    install_trace,
+    new_trace_id,
+    reset_trace_id,
+    set_trace_id,
+    span,
+    start_trace,
+    trace_id_scope,
+    write_chrome_trace,
+)
+
+__all__ = [
+    # state
+    "enable",
+    "disable",
+    "is_enabled",
+    # metrics
+    "MetricError",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "registry",
+    # tracing
+    "Span",
+    "NoopSpan",
+    "Trace",
+    "span",
+    "collect",
+    "active_trace",
+    "install_trace",
+    "start_trace",
+    "finish_trace",
+    "add_events",
+    "new_trace_id",
+    "current_trace_id",
+    "set_trace_id",
+    "reset_trace_id",
+    "trace_id_scope",
+    "chrome_events",
+    "chrome_document",
+    "write_chrome_trace",
+    # exposition
+    "render_prometheus",
+    "parse_prometheus_text",
+    "CONTENT_TYPE",
+]

@@ -1,0 +1,157 @@
+"""The metric catalogue: every instrument point's name, labels, buckets.
+
+One accessor per time series keeps names/labels/buckets in a single
+reviewable place (documented in ``docs/OBSERVABILITY.md``) and makes
+each call site one line: ``catalogue.plan_cache().inc(result="hit")``.
+
+Accessors are get-or-create against the process registry on every call
+— deliberately not cached at module scope, so :func:`repro.obs.state.disable`
+can guarantee zero registry growth (a disabled lookup returns an
+unregistered no-op shell) and tests can reason about a registry they
+reset around.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from . import metrics as _metrics
+
+__all__ = [
+    "LATENCY_BUCKETS",
+    "engine_requests",
+    "engine_request_seconds",
+    "engine_trials",
+    "engine_plan_cache",
+    "engine_stopped_early",
+    "dist_supersteps",
+    "dist_exchanged_rows",
+    "service_queue_depth",
+    "service_job_wait_seconds",
+    "service_job_run_seconds",
+    "service_jobs",
+    "service_cache",
+    "http_requests",
+    "http_request_seconds",
+]
+
+#: request-latency bucket edges (seconds) shared by every `_seconds`
+#: histogram so endpoint/engine latencies compare on one axis
+LATENCY_BUCKETS: Tuple[float, ...] = _metrics.DEFAULT_BUCKETS
+
+
+# -- engine -----------------------------------------------------------------
+
+def engine_requests() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_engine_requests_total",
+        help="Count requests completed by CountingEngine, by backend",
+        labels=("method",),
+    )
+
+
+def engine_request_seconds() -> _metrics.Histogram:
+    return _metrics.registry().histogram(
+        "repro_engine_request_seconds",
+        help="End-to-end CountingEngine.count() latency, by backend",
+        labels=("method",),
+        buckets=LATENCY_BUCKETS,
+    )
+
+
+def engine_trials() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_engine_trials_total",
+        help="Colorful trials executed across all count requests",
+    )
+
+
+def engine_plan_cache() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_engine_plan_cache_total",
+        help="Decomposition-plan cache lookups, by result",
+        labels=("result",),
+    )
+
+
+def engine_stopped_early() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_engine_stopped_early_total",
+        help="Adaptive-precision runs that stopped before the trial cap",
+    )
+
+
+# -- distributed executor ---------------------------------------------------
+
+def dist_supersteps() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_dist_supersteps_total",
+        help="BSP supersteps (DP stages) executed by ShardedExecutor",
+    )
+
+
+def dist_exchanged_rows() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_dist_exchanged_rows_total",
+        help="Boundary table rows exchanged master<->workers",
+    )
+
+
+# -- service ----------------------------------------------------------------
+
+def service_queue_depth() -> _metrics.Gauge:
+    return _metrics.registry().gauge(
+        "repro_service_queue_depth",
+        help="Jobs currently waiting in the JobQueue",
+    )
+
+
+def service_job_wait_seconds() -> _metrics.Histogram:
+    return _metrics.registry().histogram(
+        "repro_service_job_wait_seconds",
+        help="Time a job spent queued before a worker picked it up",
+        buckets=LATENCY_BUCKETS,
+    )
+
+
+def service_job_run_seconds() -> _metrics.Histogram:
+    return _metrics.registry().histogram(
+        "repro_service_job_run_seconds",
+        help="Time a job spent executing on a worker thread",
+        buckets=LATENCY_BUCKETS,
+    )
+
+
+def service_jobs() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_service_jobs_total",
+        help="Jobs finished, by terminal state",
+        labels=("state",),
+    )
+
+
+def service_cache() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_service_cache_total",
+        help="ResultCache lookups, by result",
+        labels=("result",),
+    )
+
+
+# -- httpd ------------------------------------------------------------------
+
+def http_requests() -> _metrics.Counter:
+    return _metrics.registry().counter(
+        "repro_http_requests_total",
+        help="HTTP requests served, by endpoint/method/status",
+        labels=("endpoint", "method", "status"),
+    )
+
+
+def http_request_seconds() -> _metrics.Histogram:
+    return _metrics.registry().histogram(
+        "repro_http_request_seconds",
+        help="HTTP request latency, by endpoint",
+        labels=("endpoint",),
+        buckets=LATENCY_BUCKETS,
+    )

@@ -1,0 +1,154 @@
+"""Prometheus text exposition (v0.0.4) — render and parse.
+
+:func:`render_prometheus` turns a :class:`~repro.obs.metrics.MetricsRegistry`
+into the plain-text scrape format served at ``GET /metrics``:
+
+.. code-block:: text
+
+    # HELP repro_http_requests_total HTTP requests served
+    # TYPE repro_http_requests_total counter
+    repro_http_requests_total{endpoint="/count",method="POST",status="200"} 7
+    # HELP repro_http_request_seconds HTTP request latency
+    # TYPE repro_http_request_seconds histogram
+    repro_http_request_seconds_bucket{endpoint="/count",le="0.005"} 3
+    ...
+    repro_http_request_seconds_sum{endpoint="/count"} 0.0421
+    repro_http_request_seconds_count{endpoint="/count"} 7
+
+:func:`parse_prometheus_text` is the inverse the tests and the CI
+``obs-smoke`` lane use to reconcile scraped values against client-side
+request counts; it raises :class:`ValueError` on any malformed line, so
+"the exposition parses" is itself an assertion.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Optional, Tuple
+
+from . import metrics as _metrics
+
+__all__ = ["render_prometheus", "parse_prometheus_text", "CONTENT_TYPE"]
+
+#: the content type Prometheus scrapers expect for text exposition
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: one parsed exposition: metric name -> {sorted (label,value) pairs -> value}
+ParsedSeries = Dict[str, Dict[Tuple[Tuple[str, str], ...], float]]
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value).is_integer() and abs(value) < 2**53:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _escape_help(value: str) -> str:
+    return value.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _label_str(names: Tuple[str, ...], values: Tuple[str, ...],
+               extra: Optional[Tuple[str, str]] = None) -> str:
+    pairs = list(zip(names, values))
+    if extra is not None:
+        pairs.append(extra)
+    if not pairs:
+        return ""
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return "{" + body + "}"
+
+
+def render_prometheus(registry: Optional[_metrics.MetricsRegistry] = None) -> str:
+    """Render ``registry`` (default: the process registry) as text."""
+    registry = registry if registry is not None else _metrics.registry()
+    lines: List[str] = []
+    for metric in registry.collect():
+        if metric.help:
+            lines.append(f"# HELP {metric.name} {_escape_help(metric.help)}")
+        lines.append(f"# TYPE {metric.name} {metric.kind}")
+        if isinstance(metric, (_metrics.Counter, _metrics.Gauge)):
+            for key, value in metric.samples():
+                labels = _label_str(metric.label_names, key)
+                lines.append(f"{metric.name}{labels} {_fmt_value(value)}")
+        elif isinstance(metric, _metrics.Histogram):
+            for key, cumulative, total_sum, count in metric.samples():
+                edges = [_fmt_value(b) for b in metric.buckets] + ["+Inf"]
+                for edge, bucket_count in zip(edges, cumulative):
+                    labels = _label_str(metric.label_names, key, ("le", edge))
+                    lines.append(f"{metric.name}_bucket{labels} {bucket_count}")
+                labels = _label_str(metric.label_names, key)
+                lines.append(f"{metric.name}_sum{labels} {_fmt_value(total_sum)}")
+                lines.append(f"{metric.name}_count{labels} {count}")
+    return "\n".join(lines) + "\n"
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+\d+)?$"  # optional timestamp
+)
+_LABEL_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def _unescape_label(value: str) -> str:
+    return value.replace("\\n", "\n").replace('\\"', '"').replace("\\\\", "\\")
+
+
+def _parse_labels(body: str) -> Tuple[Tuple[str, str], ...]:
+    pairs: List[Tuple[str, str]] = []
+    pos = 0
+    while pos < len(body):
+        m = _LABEL_RE.match(body, pos)
+        if m is None:
+            raise ValueError(f"malformed label body: {body!r} at offset {pos}")
+        pairs.append((m.group(1), _unescape_label(m.group(2))))
+        pos = m.end()
+        if pos < len(body):
+            if body[pos] != ",":
+                raise ValueError(f"malformed label body: {body!r} at offset {pos}")
+            pos += 1
+    return tuple(sorted(pairs))
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    if text == "NaN":
+        return float("nan")
+    return float(text)
+
+
+def parse_prometheus_text(text: str) -> ParsedSeries:
+    """Parse text exposition into ``{name: {label_pairs: value}}``.
+
+    Histogram children appear under their full sample names
+    (``<base>_bucket``, ``<base>_sum``, ``<base>_count``).  Raises
+    :class:`ValueError` on any line that is neither a comment, blank,
+    nor a well-formed sample.
+    """
+    out: ParsedSeries = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = _SAMPLE_RE.match(line)
+        if m is None:
+            raise ValueError(f"line {lineno}: malformed sample: {raw!r}")
+        labels = _parse_labels(m.group("labels")) if m.group("labels") else ()
+        value = _parse_value(m.group("value"))
+        series = out.setdefault(m.group("name"), {})
+        if labels in series:
+            raise ValueError(f"line {lineno}: duplicate sample: {raw!r}")
+        series[labels] = value
+    return out

@@ -1,0 +1,344 @@
+"""Process-wide metrics: counters, gauges, and fixed-bucket histograms.
+
+The design goals, in order:
+
+1. **Cheap hot path.**  An observation is one ``state.enabled`` read,
+   one label-key build, and one short ``with self._lock`` block.  No
+   allocation beyond the label tuple, no string formatting, no I/O.
+2. **Exact accounting.**  Every increment lands; histogram bucket
+   counts are exact under concurrent writers (the service hammer test
+   asserts this bit-for-bit).
+3. **Zero growth when disabled.**  With :func:`repro.obs.state.disable`
+   active, registry lookups for metrics that do not already exist
+   return *unregistered* instances whose observations no-op, so a
+   disabled run leaves the registry byte-identical.
+
+Metric *names* follow Prometheus conventions (``_total`` counters,
+``_seconds`` histograms); rendering lives in
+:mod:`repro.obs.exposition`, the instrument-point catalogue in
+:mod:`repro.obs.catalogue`.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections import OrderedDict
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Type, TypeVar
+
+from . import state
+
+__all__ = [
+    "MetricError",
+    "Metric",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BUCKETS",
+    "registry",
+]
+
+#: default latency buckets (seconds) — identical to the Prometheus
+#: client-library defaults so scraped dashboards transfer directly
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+#: one sample's label values, ordered like the metric's label names
+LabelKey = Tuple[str, ...]
+
+
+class MetricError(ValueError):
+    """Misuse of the metrics API (bad labels, type clash, negative inc)."""
+
+
+class Metric:
+    """Common base: name, help text, declared label names, one lock."""
+
+    kind: str = "untyped"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names: Tuple[str, ...] = tuple(labels)
+
+        self._lock = threading.Lock()
+
+    def _key(self, labels: Mapping[str, object]) -> LabelKey:
+        """Validate the caller's labels against the declared set."""
+        if len(labels) != len(self.label_names) or any(
+            k not in labels for k in self.label_names
+        ):
+            raise MetricError(
+                f"metric {self.name!r} takes labels {sorted(self.label_names)}, "
+                f"got {sorted(labels)}"
+            )
+        return tuple(str(labels[k]) for k in self.label_names)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-safe rendering of the metric and all its samples."""
+        raise NotImplementedError
+
+
+_M = TypeVar("_M", bound=Metric)
+
+
+class Counter(Metric):
+    """A monotone counter, optionally split by labels."""
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help=help, labels=labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not state.enabled:
+            return
+        if amount < 0:
+            raise MetricError(f"counter {self.name!r} cannot decrease")
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "labels": list(self.label_names),
+            "samples": [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in self.samples()
+            ],
+        }
+
+
+class Gauge(Metric):
+    """A value that can go up and down (queue depth, inflight jobs)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str = "", labels: Sequence[str] = ()) -> None:
+        super().__init__(name, help=help, labels=labels)
+        self._values: Dict[LabelKey, float] = {}
+
+    def set(self, value: float, **labels: object) -> None:
+        if not state.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = float(value)
+
+    def inc(self, amount: float = 1.0, **labels: object) -> None:
+        if not state.enabled:
+            return
+        key = self._key(labels)
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, **labels: object) -> None:
+        self.inc(-amount, **labels)
+
+    def value(self, **labels: object) -> float:
+        key = self._key(labels)
+        with self._lock:
+            return self._values.get(key, 0.0)
+
+    def samples(self) -> List[Tuple[LabelKey, float]]:
+        with self._lock:
+            return sorted(self._values.items())
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "labels": list(self.label_names),
+            "samples": [
+                {"labels": dict(zip(self.label_names, key)), "value": value}
+                for key, value in self.samples()
+            ],
+        }
+
+
+class Histogram(Metric):
+    """Fixed-bucket histogram with Prometheus ``le`` (inclusive) edges.
+
+    Bucket counts are stored *non*-cumulative internally (one list slot
+    per edge plus a final ``+Inf`` slot); the exposition layer renders
+    the cumulative form the text format requires.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help=help, labels=labels)
+        edges = tuple(sorted(float(b) for b in buckets))
+        if not edges:
+            raise MetricError(f"histogram {self.name!r} needs at least one bucket")
+        if len(set(edges)) != len(edges):
+            raise MetricError(f"histogram {self.name!r} has duplicate bucket edges")
+        self.buckets: Tuple[float, ...] = edges
+        self._counts: Dict[LabelKey, List[int]] = {}
+        self._sums: Dict[LabelKey, float] = {}
+
+    def observe(self, value: float, **labels: object) -> None:
+        if not state.enabled:
+            return
+        v = float(value)
+        key = self._key(labels)
+        # first edge >= v; past the last edge lands in the +Inf slot
+        slot = bisect_left(self.buckets, v)
+        with self._lock:
+            counts = self._counts.get(key)
+            if counts is None:
+                counts = [0] * (len(self.buckets) + 1)
+                self._counts[key] = counts
+                self._sums[key] = 0.0
+            counts[slot] += 1
+            self._sums[key] += v
+
+    def sample(self, **labels: object) -> Tuple[List[int], float, int]:
+        """(cumulative bucket counts incl. +Inf, sum, total count)."""
+        key = self._key(labels)
+        with self._lock:
+            counts = list(self._counts.get(key, [0] * (len(self.buckets) + 1)))
+            total_sum = self._sums.get(key, 0.0)
+        cumulative: List[int] = []
+        running = 0
+        for c in counts:
+            running += c
+            cumulative.append(running)
+        return cumulative, total_sum, running
+
+    def samples(self) -> List[Tuple[LabelKey, List[int], float, int]]:
+        """All label children as (key, cumulative counts, sum, count)."""
+        with self._lock:
+            keys = sorted(self._counts)
+        out: List[Tuple[LabelKey, List[int], float, int]] = []
+        for key in keys:
+            cumulative, total_sum, count = self.sample(
+                **dict(zip(self.label_names, key))
+            )
+            out.append((key, cumulative, total_sum, count))
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        rendered = []
+        for key, cumulative, total_sum, count in self.samples():
+            edges = [*(str(b) for b in self.buckets), "+Inf"]
+            rendered.append(
+                {
+                    "labels": dict(zip(self.label_names, key)),
+                    "buckets": dict(zip(edges, cumulative)),
+                    "sum": total_sum,
+                    "count": count,
+                }
+            )
+        return {
+            "kind": self.kind,
+            "labels": list(self.label_names),
+            "buckets": list(self.buckets),
+            "samples": rendered,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create metric store; one process-wide default instance.
+
+    Lookups are keyed by metric name; asking for an existing name with
+    a different type or label set raises :class:`MetricError` so two
+    call sites cannot silently shear one time series.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: "OrderedDict[str, Metric]" = OrderedDict()
+
+    def counter(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Counter:
+        return self._get_or_create(Counter, name, help, labels)
+
+    def gauge(self, name: str, help: str = "", labels: Sequence[str] = ()) -> Gauge:
+        return self._get_or_create(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._get_or_create(Histogram, name, help, labels, buckets=buckets)
+
+    def _get_or_create(
+        self,
+        cls: Type[_M],
+        name: str,
+        help: str,
+        labels: Sequence[str],
+        **kwargs: object,
+    ) -> _M:
+        with self._lock:
+            metric = self._metrics.get(name)
+            if metric is None:
+                if not state.enabled:
+                    # disabled: hand back an unregistered shell whose
+                    # observations no-op — zero registry growth
+                    return cls(name, help=help, labels=labels, **kwargs)  # type: ignore[arg-type]
+                metric = cls(name, help=help, labels=labels, **kwargs)  # type: ignore[arg-type]
+                self._metrics[name] = metric
+        if not isinstance(metric, cls):
+            raise MetricError(
+                f"metric {name!r} already registered as {metric.kind}, "
+                f"requested {cls.kind}"
+            )
+        if tuple(metric.label_names) != tuple(labels):
+            raise MetricError(
+                f"metric {name!r} already registered with labels "
+                f"{sorted(metric.label_names)}, requested {sorted(labels)}"
+            )
+        return metric
+
+    def get(self, name: str) -> Optional[Metric]:
+        with self._lock:
+            return self._metrics.get(name)
+
+    def collect(self) -> List[Metric]:
+        """All registered metrics, sorted by name (stable exposition)."""
+        with self._lock:
+            metrics = list(self._metrics.values())
+        return sorted(metrics, key=lambda m: m.name)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._metrics)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Nested JSON-safe dump of every metric (the ``/stats`` shape)."""
+        return {m.name: m.snapshot() for m in self.collect()}
+
+
+_DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-wide default registry (what ``/metrics`` serves)."""
+    return _DEFAULT_REGISTRY

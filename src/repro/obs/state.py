@@ -1,0 +1,43 @@
+"""The global observability kill-switch.
+
+One process-wide flag gates every span and every metric observation.
+:func:`disable` compiles the instrumentation down to near-no-ops — a
+single module-attribute read per call site — which is what the perf
+gate measures: the vectorized kernels with observability disabled must
+stay within 1.05x of their uninstrumented timing.
+
+The flag is deliberately a plain module attribute rather than a lock-
+protected object: readers tolerate a stale value for one observation
+(metrics are monotone counters, a span more or less around a toggle is
+harmless), and the hot path must not pay for synchronization.
+"""
+
+from __future__ import annotations
+
+__all__ = ["enabled", "enable", "disable", "is_enabled"]
+
+#: whether spans and metric observations do anything; mutated only by
+#: :func:`enable` / :func:`disable`
+enabled: bool = True
+
+
+def enable() -> None:
+    """Turn spans and metric observations back on."""
+    global enabled
+    enabled = True
+
+
+def disable() -> None:
+    """Compile spans and metric observations to near-no-ops.
+
+    While disabled, ``obs.span(...)`` returns a shared no-op context
+    manager, observations return immediately, and metric lookups on a
+    registry never create new entries (zero registry growth).
+    """
+    global enabled
+    enabled = False
+
+
+def is_enabled() -> bool:
+    """Whether observability is currently on."""
+    return enabled

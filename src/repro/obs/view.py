@@ -1,0 +1,107 @@
+"""Terminal viewer for observability artifacts.
+
+Two input shapes share this one viewer (satellite of ISSUE 9 — the
+old simulated-trace path and the new measured-trace path render here):
+
+* a Chrome trace-event JSON written by ``repro-count count --trace``
+  (or :func:`repro.obs.tracing.write_chrome_trace`) — summarised as a
+  per-span-name table with counts and wall totals;
+* a ``LoadStats`` JSON dump from :mod:`repro.distributed.runtime`
+  (``--load-stats``) — rendered through the existing
+  :func:`repro.distributed.trace.format_trace` stage report.
+
+Usage::
+
+    python -m repro.obs.view trace.json
+    python -m repro.obs.view --load-stats loadstats.json
+
+The ``repro.distributed`` import is deliberately inside the function
+body: :mod:`repro.obs` is an RP004 layer-0 package, and the lazy import
+is the sanctioned escape hatch for a leaf *tool* reaching upward.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["chrome_summary", "load_stats_summary", "main"]
+
+
+def chrome_summary(doc: Dict[str, Any]) -> str:
+    """Summarise a Chrome trace document as a per-span-name table."""
+    events: List[Dict[str, Any]] = list(doc.get("traceEvents", []))
+    trace_ids = sorted(
+        {
+            str(ev.get("args", {}).get("trace_id"))
+            for ev in events
+            if ev.get("args", {}).get("trace_id")
+        }
+    )
+    pids = sorted({int(ev.get("pid", 0)) for ev in events})
+    by_name: Dict[str, Dict[str, float]] = {}
+    for ev in events:
+        if ev.get("ph") != "X":
+            continue
+        row = by_name.setdefault(
+            str(ev.get("name", "?")), {"count": 0.0, "total_us": 0.0, "max_us": 0.0}
+        )
+        dur = float(ev.get("dur", 0.0))
+        row["count"] += 1
+        row["total_us"] += dur
+        row["max_us"] = max(row["max_us"], dur)
+
+    lines = [
+        f"events: {len(events)}, spans: {len(by_name)}, "
+        f"processes: {len(pids)}, trace ids: {', '.join(trace_ids) or '-'}"
+    ]
+    lines.append(f"{'span':32s} {'count':>7s} {'total ms':>12s} {'max ms':>10s}")
+    for name, row in sorted(
+        by_name.items(), key=lambda kv: kv[1]["total_us"], reverse=True
+    ):
+        lines.append(
+            f"{name:32s} {int(row['count']):>7d} "
+            f"{row['total_us'] / 1000:>12.3f} {row['max_us'] / 1000:>10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def load_stats_summary(doc: Dict[str, Any], top: int = 10) -> str:
+    """Render a ``LoadStats.to_dict()`` document via the distributed
+    stage-report formatter (one viewer for both trace flavours)."""
+    from repro.distributed.runtime import LoadStats
+    from repro.distributed.trace import format_trace
+
+    return format_trace(LoadStats.from_dict(doc), top=top)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.view",
+        description="Summarise a Chrome trace JSON or a LoadStats dump.",
+    )
+    parser.add_argument("path", help="trace JSON file to summarise")
+    parser.add_argument(
+        "--load-stats",
+        action="store_true",
+        help="treat the input as a LoadStats.to_dict() document",
+    )
+    parser.add_argument(
+        "--top", type=int, default=10,
+        help="stages to show in --load-stats mode (default 10)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if args.load_stats:
+        print(load_stats_summary(doc, top=args.top))
+    else:
+        print(chrome_summary(doc))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

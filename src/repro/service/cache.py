@@ -15,6 +15,8 @@ import threading
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
+from ..obs import catalogue as obs_catalogue
+
 __all__ = ["ResultCache"]
 
 
@@ -37,13 +39,18 @@ class ResultCache:
     # ------------------------------------------------------------------
     def get(self, key: str) -> Tuple[bool, Optional[object]]:
         """``(hit, value)`` for ``key``; a hit refreshes its LRU position."""
+        value: Optional[object] = None
         with self._lock:
-            if key in self._entries:
+            hit = key in self._entries
+            if hit:
                 self._entries.move_to_end(key)
                 self._hits += 1
-                return True, self._entries[key]
-            self._misses += 1
-            return False, None
+                value = self._entries[key]
+            else:
+                self._misses += 1
+        # metric update outside the cache lock (obs has its own)
+        obs_catalogue.service_cache().inc(result="hit" if hit else "miss")
+        return hit, value
 
     def put(self, key: str, value: object) -> None:
         """Insert/refresh ``key``, evicting the least recently used entry

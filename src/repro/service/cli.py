@@ -68,7 +68,8 @@ def run_serve(
         cache_size=args.cache_size,
     )
     try:
-        server = make_server(service, host=args.host, port=args.port, verbose=args.verbose)
+        server = make_server(service, host=args.host, port=args.port,
+                             verbose=args.verbose, access_log=args.access_log)
     except OSError as exc:
         # bind failure (port taken, bad host): release the worker threads
         # and any warm shard pools instead of leaking them to atexit

@@ -9,6 +9,9 @@ callers can tell saturation (retry) from bad requests (don't).
 ``python -m repro.service.client --base-url URL --self-test`` drives a
 live server through every endpoint and exits non-zero on any failure —
 CI's service-smoke job runs exactly that against a booted ``repro-serve``.
+``--obs-check`` additionally issues scripted traffic and reconciles the
+server's ``/metrics`` exposition against the client-side tally, exactly
+— CI's obs-smoke job runs it.
 """
 
 from __future__ import annotations
@@ -21,7 +24,14 @@ import time
 from typing import List, Optional, Tuple, Union
 from urllib.parse import urlparse
 
-__all__ = ["ServiceClient", "ServiceAPIError", "SaturatedError", "main", "self_test"]
+__all__ = [
+    "ServiceClient",
+    "ServiceAPIError",
+    "SaturatedError",
+    "main",
+    "obs_check",
+    "self_test",
+]
 
 
 class ServiceAPIError(RuntimeError):
@@ -119,6 +129,28 @@ class ServiceClient:
     def jobs(self) -> List[dict]:
         return self._request("GET", "/jobs")["jobs"]
 
+    def metrics_text(self) -> str:
+        """Raw ``GET /metrics`` body (Prometheus text exposition).
+
+        Bypasses :meth:`_request` — the body is text, not JSON."""
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request("GET", "/metrics")
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, BrokenPipeError):
+                self.close()
+                if attempt:
+                    raise
+        if response.status >= 400:
+            raise ServiceAPIError(response.status, raw.decode("utf-8", "replace"))
+        return raw.decode("utf-8")
+
     def wait(self, job_id: str, timeout: float = 60.0, interval: float = 0.05) -> dict:
         """Poll ``GET /jobs/<id>`` until the job finishes; returns it."""
         deadline = time.monotonic() + timeout
@@ -199,6 +231,108 @@ def self_test(base_url: str, dataset: Optional[str] = None, query: str = "glet1"
     return 0
 
 
+def obs_check(base_url: str, dataset: Optional[str] = None, query: str = "glet1") -> int:
+    """Scripted traffic + exact ``/metrics`` reconciliation; 0 on success.
+
+    Scrapes the Prometheus exposition before and after a known mix of
+    requests and asserts the *deltas* match the client-side tally bit for
+    bit — counters are exact, not sampled.  Only endpoints whose request
+    count this routine fully controls are reconciled (job polling loops
+    issue a data-dependent number of GETs, so ``/jobs/{id}`` is not).
+    """
+    from ..obs.exposition import parse_prometheus_text
+
+    checks: List[str] = []
+
+    def check(name: str, ok: bool, detail: str = "") -> None:
+        checks.append(name)
+        print(f"[obs-check] {name:34s} {'ok' if ok else 'FAIL'}  {detail}")
+        if not ok:
+            raise AssertionError(f"metrics reconciliation failed: {name} {detail}")
+
+    def sample(doc: dict, name: str, **labels: str) -> float:
+        key = tuple(sorted(labels.items()))
+        return float(doc.get(name, {}).get(key, 0.0))
+
+    def total(doc: dict, name: str) -> float:
+        return float(sum(doc.get(name, {}).values()))
+
+    with ServiceClient(base_url) as client:
+        dataset = dataset or client.datasets()[0]["name"]
+        before = parse_prometheus_text(client.metrics_text())
+
+        # unique seeds per invocation so reruns against a warm server
+        # still produce exactly 4 cache misses
+        base_seed = int(time.time()) % 1_000_000
+
+        for i in range(3):  # 3 cold sync counts: 3 misses, 3 engine runs
+            client.count(dataset, query, trials=2, seed=base_seed + i)
+        for i in range(3):  # 3 warm repeats: 3 hits, zero engine runs
+            result, cached = client.count(dataset, query, trials=2, seed=base_seed + i)
+            check(f"repeat {i} served from cache", cached)
+        job = client.submit(dataset, query, trials=2, seed=base_seed + 3)  # miss
+        client.wait(job["id"], timeout=120.0)
+        again = client.submit(dataset, query, trials=2, seed=base_seed + 3)  # hit
+        if not again.get("state") == "done":
+            client.wait(again["id"], timeout=120.0)
+        client.healthz()
+        client.healthz()
+        try:
+            client._request("GET", "/no-such-endpoint")
+        except ServiceAPIError as exc:
+            check("scan path answers 404", exc.status == 404)
+
+        after = parse_prometheus_text(client.metrics_text())
+
+    def delta(name: str, **labels: str) -> float:
+        return sample(after, name, **labels) - sample(before, name, **labels)
+
+    check(
+        "http /count POSTs == 6",
+        delta("repro_http_requests_total",
+              endpoint="/count", method="POST", status="200") == 6.0,
+    )
+    check(
+        "http /count latency count == 6",
+        delta("repro_http_request_seconds_count", endpoint="/count") == 6.0,
+    )
+    check(
+        "http /healthz GETs == 2",
+        delta("repro_http_requests_total",
+              endpoint="/healthz", method="GET", status="200") == 2.0,
+    )
+    check(
+        "http scan 404s == 1",
+        delta("repro_http_requests_total",
+              endpoint="other", method="GET", status="404") == 1.0,
+    )
+    check(
+        "cache misses == 4",
+        delta("repro_service_cache_total", result="miss") == 4.0,
+        f"hit delta={delta('repro_service_cache_total', result='hit'):g}",
+    )
+    check(
+        "cache hits == 4",
+        delta("repro_service_cache_total", result="hit") == 4.0,
+    )
+    check(
+        "jobs done == 4",
+        delta("repro_service_jobs_total", state="done") == 4.0,
+    )
+    check(
+        "engine requests == 4",
+        total(after, "repro_engine_requests_total")
+        - total(before, "repro_engine_requests_total") == 4.0,
+    )
+    engine_trials = total(after, "repro_engine_trials_total") - total(
+        before, "repro_engine_trials_total"
+    )
+    check("engine trials == 8", engine_trials == 8.0, "4 runs x 2 trials")
+
+    print(f"[obs-check] all {len(checks)} reconciliation checks passed")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.service.client",
@@ -207,6 +341,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--base-url", required=True, help="e.g. http://127.0.0.1:8321")
     parser.add_argument("--self-test", action="store_true",
                         help="drive every endpoint, exit non-zero on failure")
+    parser.add_argument("--obs-check", action="store_true",
+                        help="scripted traffic + exact /metrics reconciliation")
     parser.add_argument("--dataset", default=None, help="dataset for --self-test")
     parser.add_argument("--query", default="glet1", help="query for --self-test")
     args = parser.parse_args(argv)
@@ -215,6 +351,12 @@ def main(argv: Optional[List[str]] = None) -> int:
             return self_test(args.base_url, dataset=args.dataset, query=args.query)
         except Exception as exc:  # noqa: BLE001 - CLI boundary
             print(f"[self-test] FAILED: {exc}", file=sys.stderr)
+            return 1
+    if args.obs_check:
+        try:
+            return obs_check(args.base_url, dataset=args.dataset, query=args.query)
+        except Exception as exc:  # noqa: BLE001 - CLI boundary
+            print(f"[obs-check] FAILED: {exc}", file=sys.stderr)
             return 1
     with ServiceClient(args.base_url) as client:
         print(json.dumps(client.healthz(), indent=2))

@@ -21,6 +21,8 @@ import time
 import uuid
 from typing import Callable, Dict, List, Optional
 
+from ..obs import catalogue as obs_catalogue
+
 __all__ = ["Job", "JobQueue", "ServiceSaturated", "UnknownJobError"]
 
 #: job lifecycle states
@@ -185,6 +187,7 @@ class JobQueue:
                 ) from None
             self._jobs[job.id] = job
             self._submitted += 1
+        obs_catalogue.service_queue_depth().set(self._queue.qsize())
         return job
 
     def _trim_history_locked(self) -> None:
@@ -252,6 +255,10 @@ class JobQueue:
                 return
             job.state = RUNNING
             job.started_at = time.time()
+            obs_catalogue.service_job_wait_seconds().observe(
+                max(0.0, job.started_at - job.created_at)
+            )
+            obs_catalogue.service_queue_depth().set(self._queue.qsize())
             with self._lock:
                 self._running += 1
             try:
@@ -262,6 +269,10 @@ class JobQueue:
                 job.state = FAILED
             finally:
                 job.finished_at = time.time()
+                obs_catalogue.service_job_run_seconds().observe(
+                    max(0.0, job.finished_at - (job.started_at or job.finished_at))
+                )
+                obs_catalogue.service_jobs().inc(state=job.state)
                 with self._lock:
                     self._running -= 1
                     if job.state == DONE:

@@ -24,6 +24,7 @@ import threading
 import time
 from typing import Dict, List, Optional, Tuple, Union
 
+from .. import obs
 from ..counting.xp import BackendUnavailable, resolve_namespace
 from ..engine import CountingEngine, CountRequest, EngineConfig, PrecisionSpec, RunResult
 from ..engine.backends import DEFAULT_REGISTRY
@@ -245,17 +246,26 @@ class CountingService:
     # ------------------------------------------------------------------
     # execution
     # ------------------------------------------------------------------
-    def _execute(self, entry: DatasetEntry, request: CountRequest, fp: str) -> RunResult:
+    def _execute(
+        self,
+        entry: DatasetEntry,
+        request: CountRequest,
+        fp: str,
+        trace_id: Optional[str] = None,
+    ) -> RunResult:
         """Run one admitted request on the dataset's engine, fill the cache.
 
         The in-flight job for this fingerprint (still registered — it is
         only popped in the ``finally`` below) receives the engine's
         refining-CI snapshots, so ``GET /jobs/<id>`` shows live trial
-        progress while an adaptive run converges.
+        progress while an adaptive run converges.  ``trace_id`` is the
+        admitting HTTP request's trace ID, re-bound here because this
+        runs on a job-worker thread, not the handler's.
         """
         with self._lock:
             job = self._inflight.get(fp)
         on_progress = job.update_progress if job is not None else None
+        token = obs.set_trace_id(trace_id) if trace_id is not None else None
         try:
             result = entry.engine.count(request, on_progress=on_progress)
             self.cache.put(fp, result)
@@ -263,6 +273,8 @@ class CountingService:
                 self._computed += 1
             return result
         finally:
+            if token is not None:
+                obs.reset_trace_id(token)
             with self._lock:
                 self._inflight.pop(fp, None)
 
@@ -318,7 +330,15 @@ class CountingService:
                 self._inflight_joins += 1
                 return None, job, fp
             label = f"{dataset}/{query.name or 'custom'}"
-            job = Job(lambda: self._execute(entry, request, fp), label=label, fingerprint=fp)
+            # capture the admitting request's trace ID into the closure:
+            # the job runs on a worker thread where the handler's
+            # contextvar binding is not visible
+            trace_id = obs.current_trace_id()
+            job = Job(
+                lambda: self._execute(entry, request, fp, trace_id),
+                label=label,
+                fingerprint=fp,
+            )
             self._inflight[fp] = job
             # visible to GET /jobs/<id> from the instant a joiner can see
             # it, even before (or without) a successful queue submission
@@ -422,6 +442,9 @@ class CountingService:
             "queue": self.queue.stats(),
             "datasets": self.datasets(),
             "executors": executors,
+            # the nested metrics snapshot mirrors GET /metrics (additive
+            # key: existing /stats consumers are unaffected)
+            "obs": obs.registry().snapshot(),
         }
 
     def close(self) -> None:

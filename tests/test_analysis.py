@@ -115,6 +115,29 @@ class TestDeterminism:
             """)
         assert run_analysis([tmp_path]).ok
 
+    def test_obs_scope_perf_counter_legal_wall_clock_banned(self, tmp_path):
+        """``repro.obs`` is RP001-governed: spans time on the monotonic
+        ``perf_counter``; a ``time.time()`` span attribute is a finding."""
+        write(tmp_path, "obs/tracing_fixture.py", """\
+            import time
+            import uuid
+
+            def record_span(trace):
+                t0 = time.perf_counter()
+                trace.append({"id": uuid.uuid4().hex[:16], "t0": t0})
+                return time.perf_counter() - t0
+            """)
+        assert run_analysis([tmp_path]).ok
+
+        write(tmp_path, "obs/tracing_fixture.py", """\
+            import time
+
+            def record_span(trace):
+                trace.append({"wall": time.time()})
+            """)
+        report = run_analysis([tmp_path])
+        assert rules_hit(report) == {"RP001"}
+
 
 # ----------------------------------------------------------------------
 # RP002 — dtype discipline

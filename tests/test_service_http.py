@@ -10,6 +10,7 @@ repeats from the cache (visible in ``GET /stats``), and shed load with
 
 from __future__ import annotations
 
+import json
 import threading
 
 import numpy as np
@@ -290,3 +291,84 @@ class TestSaturation:
             thread.join(timeout=5.0)
             server.server_close()
             service.close()
+
+
+class TestObservability:
+    """The /metrics surface, trace-ID headers, and the access log."""
+
+    def test_metrics_endpoint_reconciles_with_client_traffic(self, stack):
+        from repro.obs import parse_prometheus_text
+
+        _, _, client = stack
+        before = parse_prometheus_text(client.metrics_text())
+
+        def sample(doc, name, **labels):
+            return float(doc.get(name, {}).get(tuple(sorted(labels.items())), 0.0))
+
+        # one cold count (unique seed for this test) and one warm repeat
+        client.count("er60", "glet1", trials=2, seed=987_001)
+        _, cached = client.count("er60", "glet1", trials=2, seed=987_001)
+        assert cached
+        after = parse_prometheus_text(client.metrics_text())
+
+        def delta(name, **labels):
+            return sample(after, name, **labels) - sample(before, name, **labels)
+
+        assert delta("repro_service_cache_total", result="miss") == 1.0
+        assert delta("repro_service_cache_total", result="hit") == 1.0
+        assert delta("repro_http_requests_total",
+                     endpoint="/count", method="POST", status="200") == 2.0
+        assert delta("repro_http_request_seconds_count", endpoint="/count") == 2.0
+
+    def test_trace_id_header_and_result_stamp(self, stack):
+        import http.client
+
+        _, server, client = stack
+        host, port = server.server_address[:2]
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            body = json.dumps({
+                "dataset": "er60", "query": "glet1", "trials": 2, "seed": 987_002,
+            })
+            conn.request("POST", "/count", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            header_id = response.getheader("X-Repro-Trace-Id")
+            doc = json.loads(response.read())
+        finally:
+            conn.close()
+        assert header_id and len(header_id) == 16
+        # the request-scoped trace id threads through to the engine result
+        assert doc["result"]["trace_id"] == header_id
+
+    def test_access_log_emits_structured_json_lines(self, capsys):
+        service = CountingService(config=CONFIG, workers=1, queue_depth=4, cache_size=8)
+        service.registry.add(
+            "er20", erdos_renyi(20, 0.2, np.random.default_rng(5), name="er20")
+        )
+        server = make_server(service, port=0, access_log=True)
+        thread = serve_forever(server)
+        try:
+            with ServiceClient(server.url) as client:
+                client.healthz()
+                with pytest.raises(ServiceAPIError):
+                    client.job("missing")
+        finally:
+            server.shutdown()
+            thread.join(timeout=5.0)
+            server.server_close()
+            service.close()
+        lines = [json.loads(line) for line in capsys.readouterr().err.splitlines()
+                 if line.startswith("{")]
+        assert len(lines) == 2
+        for doc in lines:
+            assert set(doc) == {"ts", "method", "path", "status",
+                                "duration_ms", "trace_id"}
+        assert lines[0]["path"] == "/healthz" and lines[0]["status"] == 200
+        assert lines[1]["path"] == "/jobs/missing" and lines[1]["status"] == 404
+
+    def test_stats_carries_obs_snapshot(self, stack):
+        _, _, client = stack
+        stats = client.stats()
+        assert "obs" in stats
+        assert "repro_http_requests_total" in stats["obs"]
